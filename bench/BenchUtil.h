@@ -1,0 +1,67 @@
+//===- bench/BenchUtil.h - shared harness helpers ---------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small timing and formatting helpers shared by the experiment binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BENCH_BENCHUTIL_H
+#define DIEHARD_BENCH_BENCHUTIL_H
+
+#include "baselines/Allocator.h"
+#include "workloads/SyntheticWorkload.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+namespace diehard {
+namespace bench {
+
+/// Wall-clock seconds for one call of \p Fn.
+inline double timeSeconds(const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Runs \p W on \p Target \p Reps times and returns the fastest run, which
+/// is the conventional way to suppress scheduling noise.
+inline double timeWorkload(SyntheticWorkload &W, Allocator &Target,
+                           int Reps = 3) {
+  double Best = 1e300;
+  for (int R = 0; R < Reps; ++R) {
+    double T = timeSeconds([&] { (void)W.run(Target); });
+    Best = T < Best ? T : Best;
+  }
+  return Best;
+}
+
+/// Geometric mean of \p Values (the statistic the paper reports).
+inline double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values)
+    LogSum += std::log(V);
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Prints a rule line matching the width of our tables.
+inline void printRule(int Width = 72) {
+  for (int I = 0; I < Width; ++I)
+    std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+} // namespace bench
+} // namespace diehard
+
+#endif // DIEHARD_BENCH_BENCHUTIL_H

@@ -1,0 +1,56 @@
+//===- bench/bench_fig4a_overflow.cpp - Figure 4(a) -----------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 4(a): the probability of masking single-object buffer
+/// overflows for varying numbers of replicas (1, 3, 4, 5, 6) and degrees of
+/// heap fullness (1/8, 1/4, 1/2). Each cell shows the closed form of
+/// Theorem 1 next to a Monte-Carlo estimate over the randomized-heap model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MonteCarlo.h"
+#include "analysis/Probability.h"
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+int main() {
+  std::printf("Figure 4(a): Probability of Avoiding Buffer Overflow\n");
+  std::printf("(single-object overflow; analytic = Theorem 1, "
+              "sim = Monte Carlo)\n");
+  bench::printRule();
+  std::printf("%-10s", "fullness");
+  const int ReplicaCounts[] = {1, 3, 4, 5, 6};
+  for (int K : ReplicaCounts)
+    std::printf("  k=%d analytic / sim ", K);
+  std::printf("\n");
+  bench::printRule();
+
+  Rng Rand(0xF16A);
+  const double Fullness[] = {1.0 / 8.0, 1.0 / 4.0, 1.0 / 2.0};
+  const char *Labels[] = {"1/8 full", "1/4 full", "1/2 full"};
+  constexpr size_t HeapSlots = 4096;
+  constexpr int Trials = 200000;
+
+  for (int F = 0; F < 3; ++F) {
+    std::printf("%-10s", Labels[F]);
+    for (int K : ReplicaCounts) {
+      double Analytic = maskOverflowProbability(1.0 - Fullness[F], 1, K);
+      double Sim = simulateOverflowMask(
+          HeapSlots, static_cast<size_t>(Fullness[F] * HeapSlots), 1, K,
+          Trials, Rand);
+      std::printf("     %6.2f%% / %6.2f%%", 100.0 * Analytic, 100.0 * Sim);
+    }
+    std::printf("\n");
+  }
+  bench::printRule();
+  std::printf("Paper anchors: stand-alone at 1/8 full masks 87.5%%; three\n"
+              "replicas exceed 99%% (Section 6.1).\n");
+  return 0;
+}

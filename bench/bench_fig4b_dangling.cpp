@@ -1,0 +1,64 @@
+//===- bench/bench_fig4b_dangling.cpp - Figure 4(b) -----------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Figure 4(b): the probability of masking dangling-pointer
+/// errors with stand-alone DieHard in its default configuration (384 MB
+/// heap, M = 2, so each size class has a 32 MB region of which 16 MB is
+/// free), for object sizes 8..256 bytes and 100 / 1,000 / 10,000
+/// intervening allocations. Analytic = Theorem 2; sim = Monte Carlo over
+/// the bitmap model.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MonteCarlo.h"
+#include "analysis/Probability.h"
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+int main() {
+  // Default configuration (Section 7.1): 384 MB heap, 12 regions, M = 2.
+  constexpr size_t FreeBytesPerClass = 16 * 1024 * 1024;
+
+  std::printf("Figure 4(b): Probability of Avoiding Dangling Pointer Error\n");
+  std::printf("(stand-alone DieHard, default configuration: F = 16 MB per "
+              "class)\n");
+  bench::printRule(78);
+  std::printf("%-12s %22s %22s %22s\n", "object size", "100 allocs",
+              "1000 allocs", "10000 allocs");
+  bench::printRule(78);
+
+  Rng Rand(0xF16B);
+  const size_t Allocations[] = {100, 1000, 10000};
+
+  for (size_t Size = 8; Size <= 256; Size *= 2) {
+    std::printf("%-12zu", Size);
+    for (size_t A : Allocations) {
+      double Analytic = maskDanglingProbability(FreeBytesPerClass, Size, A,
+                                                /*Replicas=*/1);
+      // The simulator works in slots; scale to a tractable slot count while
+      // keeping A/Q fixed so the probability is unchanged.
+      size_t Q = FreeBytesPerClass / Size;
+      size_t ScaledQ = Q, ScaledA = A;
+      while (ScaledQ > 65536) {
+        ScaledQ /= 2;
+        ScaledA /= 2;
+      }
+      double Sim = ScaledA > 0 ? simulateDanglingMask(ScaledQ, ScaledA, 1,
+                                                      3000, Rand)
+                               : 1.0;
+      std::printf("   %7.3f%% / %7.3f%%", 100.0 * Analytic, 100.0 * Sim);
+    }
+    std::printf("\n");
+  }
+  bench::printRule(78);
+  std::printf("Paper anchor: an 8-byte object freed 10,000 allocations too\n"
+              "soon survives with > 99.5%% probability (Section 6.2).\n");
+  return 0;
+}

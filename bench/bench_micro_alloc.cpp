@@ -1,0 +1,118 @@
+//===- bench/bench_micro_alloc.cpp - allocator microbenchmarks ------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks of the allocation fast paths: malloc +
+/// free pairs across size classes for DieHard, the Lea-style baseline, and
+/// the system allocator, plus the two DieHard modes (with and without
+/// random fill). These decompose the Figure 5 results into per-operation
+/// costs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/LeaAllocator.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+
+using namespace diehard;
+
+namespace {
+
+void BM_DieHardMallocFree(benchmark::State &State) {
+  DieHardOptions O;
+  O.HeapSize = 384 * 1024 * 1024;
+  O.Seed = 0xBE7C;
+  DieHardAllocator A(O);
+  size_t Size = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    void *P = A.allocate(Size);
+    benchmark::DoNotOptimize(P);
+    A.deallocate(P);
+  }
+}
+BENCHMARK(BM_DieHardMallocFree)->RangeMultiplier(4)->Range(8, 16384);
+
+void BM_DieHardReplicatedMallocFree(benchmark::State &State) {
+  DieHardOptions O;
+  O.HeapSize = 384 * 1024 * 1024;
+  O.Seed = 0xBE7D;
+  O.RandomFillObjects = true;
+  DieHardAllocator A(O);
+  size_t Size = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    void *P = A.allocate(Size);
+    benchmark::DoNotOptimize(P);
+    A.deallocate(P);
+  }
+}
+BENCHMARK(BM_DieHardReplicatedMallocFree)
+    ->RangeMultiplier(4)
+    ->Range(8, 16384);
+
+void BM_LeaMallocFree(benchmark::State &State) {
+  LeaAllocator A(size_t(512) << 20);
+  size_t Size = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    void *P = A.allocate(Size);
+    benchmark::DoNotOptimize(P);
+    A.deallocate(P);
+  }
+}
+BENCHMARK(BM_LeaMallocFree)->RangeMultiplier(4)->Range(8, 16384);
+
+void BM_SystemMallocFree(benchmark::State &State) {
+  size_t Size = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    void *P = std::malloc(Size);
+    benchmark::DoNotOptimize(P);
+    std::free(P);
+  }
+}
+BENCHMARK(BM_SystemMallocFree)->RangeMultiplier(4)->Range(8, 16384);
+
+void BM_DieHardLargeObject(benchmark::State &State) {
+  DieHardOptions O;
+  O.HeapSize = 64 * 1024 * 1024;
+  O.Seed = 0xBE7E;
+  DieHardAllocator A(O);
+  size_t Size = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    void *P = A.allocate(Size);
+    benchmark::DoNotOptimize(P);
+    A.deallocate(P);
+  }
+}
+BENCHMARK(BM_DieHardLargeObject)->Arg(32 * 1024)->Arg(256 * 1024);
+
+void BM_DieHardMallocAtFillLevel(benchmark::State &State) {
+  // Probe cost as the partition approaches its 1/M threshold.
+  DieHardOptions O;
+  O.HeapSize = 96 * 1024 * 1024;
+  O.Seed = 0xBE7F;
+  DieHardAllocator A(O);
+  int Percent = static_cast<int>(State.range(0));
+  int C = SizeClass::sizeToClass(64);
+  size_t Target = A.heap().thresholdForClass(C) *
+                  static_cast<size_t>(Percent) / 100;
+  std::vector<void *> Held;
+  while (A.heap().liveInClass(C) < Target)
+    Held.push_back(A.allocate(64));
+  for (auto _ : State) {
+    void *P = A.allocate(64);
+    benchmark::DoNotOptimize(P);
+    A.deallocate(P);
+  }
+  for (void *P : Held)
+    A.deallocate(P);
+}
+BENCHMARK(BM_DieHardMallocAtFillLevel)->Arg(0)->Arg(50)->Arg(90)->Arg(99);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+//===- bench/bench_security_entropy.cpp - Section 8 security --------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the Section 8 security observation: heap-base randomization
+/// (ASLR-style) gives an attacker one unknown that, once leaked, exposes
+/// the entire deterministic layout, while DieHard randomizes *every*
+/// placement independently. We report placement entropy (bits an attacker
+/// must guess to locate a victim object relative to a known object) and
+/// the adjacency rate (how reliably heap grooming lands attacker data next
+/// to a victim) for each allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Entropy.h"
+#include "baselines/LeaAllocator.h"
+#include "bench/BenchUtil.h"
+#include "core/DieHardHeap.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+int main() {
+  std::printf("Section 8: layout unpredictability "
+              "(attacker-guess entropy)\n");
+  bench::printRule(78);
+  std::printf("%-26s %14s %14s %14s\n", "allocator", "Shannon bits",
+              "min-entropy", "adjacency rate");
+  bench::printRule(78);
+
+  constexpr int Samples = 2000;
+  constexpr size_t ObjectSize = 64;
+
+  {
+    // Lea baseline: relative placement is a constant — zero entropy even
+    // under perfect base-address randomization.
+    EntropyEstimate E = estimatePlacementEntropy(
+        [](uint64_t) {
+          LeaAllocator A(16 << 20);
+          auto *First = static_cast<char *>(A.allocate(ObjectSize));
+          auto *Second = static_cast<char *>(A.allocate(ObjectSize));
+          return static_cast<uint64_t>(Second - First);
+        },
+        200);
+    double Adjacency = measureAdjacencyRate(
+        [](uint64_t) {
+          LeaAllocator A(16 << 20);
+          auto First = reinterpret_cast<uintptr_t>(A.allocate(ObjectSize));
+          auto Second = reinterpret_cast<uintptr_t>(A.allocate(ObjectSize));
+          return std::make_pair(First, Second);
+        },
+        ObjectSize + 16, 200);
+    std::printf("%-26s %14.2f %14.2f %13.1f%%\n", "lea (freelist)",
+                E.ShannonBits, E.MinEntropyBits, 100.0 * Adjacency);
+  }
+
+  for (double M : {2.0, 4.0}) {
+    DieHardOptions O;
+    O.HeapSize = 12 * SizeClass::MaxObjectSize * 32;
+    O.M = M;
+    EntropyEstimate E = estimatePlacementEntropy(
+        [&](uint64_t Seed) {
+          DieHardOptions Local = O;
+          Local.Seed = Seed | 1;
+          DieHardHeap H(Local);
+          char *Base =
+              static_cast<char *>(H.getObjectStart(H.allocate(ObjectSize)));
+          char *Second = static_cast<char *>(H.allocate(ObjectSize));
+          return static_cast<uint64_t>(Second - Base);
+        },
+        Samples);
+    double Adjacency = measureAdjacencyRate(
+        [&](uint64_t Seed) {
+          DieHardOptions Local = O;
+          Local.Seed = Seed | 1;
+          DieHardHeap H(Local);
+          auto First = reinterpret_cast<uintptr_t>(H.allocate(ObjectSize));
+          auto Second = reinterpret_cast<uintptr_t>(H.allocate(ObjectSize));
+          return std::make_pair(First, Second);
+        },
+        ObjectSize, Samples);
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "diehard (M=%.0f)", M);
+    std::printf("%-26s %14.2f %14.2f %13.2f%%\n", Label, E.ShannonBits,
+                E.MinEntropyBits, 100.0 * Adjacency);
+  }
+
+  bench::printRule(78);
+  std::printf("Shape: the freelist allocator's relative layout carries 0\n"
+              "bits (and ~100%% adjacency — heap grooming always works);\n"
+              "every DieHard placement carries ~log2(slots) fresh bits and\n"
+              "adjacency is ~1/slots (Section 8: base-address\n"
+              "randomization is weak, per-object randomization is not).\n"
+              "Note: entropy estimates are capped near log2(samples) =\n"
+              "%.1f bits by sample count; true placement entropy is\n"
+              "log2(slots).\n",
+              std::log2(static_cast<double>(Samples)));
+  return 0;
+}

@@ -1,0 +1,121 @@
+//===- bench/bench_space.cpp - Section 4.5 space consumption --------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The space side of the paper's space-reliability trade-off (Sections 4.5
+/// and 8): DieHard touches more pages than a compact freelist allocator
+/// (random placement spreads the live set across each 1/M-bounded region),
+/// conservative GC holds 3-5x malloc/free's footprint (garbage awaits
+/// collection), and the Section 9 adaptive variant recovers most of the
+/// fixed design's cost by growing regions on demand.
+///
+/// Each allocator runs the espresso-like workload in a forked child; the
+/// parent reports the child's peak resident set (ru_maxrss), the honest
+/// measure of memory actually consumed (reserved-but-untouched pages are
+/// free).
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/AdaptiveAllocator.h"
+#include "baselines/DieHardAllocator.h"
+#include "baselines/GcAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "bench/BenchUtil.h"
+#include "workloads/WorkloadSuite.h"
+
+#include <cstdio>
+#include <functional>
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace diehard;
+
+namespace {
+
+/// Runs \p Body in a forked child; returns the child's peak RSS in KB, or
+/// 0 on failure.
+long peakRssKb(const std::function<void()> &Body) {
+  pid_t Pid = ::fork();
+  if (Pid < 0)
+    return 0;
+  if (Pid == 0) {
+    Body();
+    ::_exit(0);
+  }
+  int Status = 0;
+  struct rusage Usage;
+  if (::wait4(Pid, &Status, 0, &Usage) != Pid)
+    return 0;
+  return Usage.ru_maxrss;
+}
+
+WorkloadParams driver() {
+  WorkloadParams P = findWorkload("espresso");
+  P.MemoryOps = 400000;
+  return P;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 4.5: memory consumption "
+              "(peak RSS, espresso-like workload)\n");
+  bench::printRule();
+  std::printf("%-26s %14s %14s\n", "allocator", "peak RSS (MB)",
+              "vs malloc");
+  bench::printRule();
+
+  long Baseline = peakRssKb([] {
+    LeaAllocator A(size_t(512) << 20);
+    SyntheticWorkload W(driver());
+    W.run(A);
+  });
+  std::printf("%-26s %14.1f %13.2fx\n", "lea (freelist)",
+              Baseline / 1024.0, 1.0);
+
+  long Gc = peakRssKb([] {
+    GcAllocator A(size_t(768) << 20, 16 << 20);
+    SyntheticWorkload W(driver());
+    W.run(A);
+  });
+  std::printf("%-26s %14.1f %13.2fx\n", "bdw-gc-sim", Gc / 1024.0,
+              static_cast<double>(Gc) / Baseline);
+
+  long Fixed = peakRssKb([] {
+    DieHardOptions O;
+    O.HeapSize = 384 * 1024 * 1024;
+    O.Seed = 0x5BACE;
+    DieHardAllocator A(O);
+    SyntheticWorkload W(driver());
+    W.run(A);
+  });
+  std::printf("%-26s %14.1f %13.2fx\n", "diehard (fixed, M=2)",
+              Fixed / 1024.0, static_cast<double>(Fixed) / Baseline);
+
+  long Adaptive = peakRssKb([] {
+    AdaptiveOptions O;
+    O.Seed = 0x5BACE;
+    AdaptiveAllocator A(O);
+    SyntheticWorkload W(driver());
+    W.run(A);
+  });
+  std::printf("%-26s %14.1f %13.2fx\n", "diehard (adaptive, M=2)",
+              Adaptive / 1024.0, static_cast<double>(Adaptive) / Baseline);
+
+  bench::printRule();
+  std::printf("Shape: freelist is the compact baseline; the collector\n"
+              "holds several times more (garbage awaits collection);\n"
+              "fixed DieHard touches pages across its randomized regions;\n"
+              "the adaptive variant recovers most of that by sizing\n"
+              "regions to demand (Sections 4.5, 8, 9).\n"
+              "Note: this workload's live set is well under a megabyte, so\n"
+              "the fixed-heap ratio is near its worst case — the paper's\n"
+              "\"up to 12M more memory than needed\" concern, and exactly\n"
+              "why Section 9 proposes the adaptive variant measured above.\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+//===- bench/bench_squid.cpp - Section 7.3 real-fault case study ----------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Squid case study: the same buggy caching server, fed the
+/// same ill-formed input, under four memory managers. The paper reports
+/// that Squid 2.3s5 crashes with both the GNU libc allocator and the
+/// Boehm-Demers-Weiser collector, and runs correctly with DieHard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/GcAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "bench/BenchUtil.h"
+#include "workloads/ForkHarness.h"
+#include "workloads/MiniSquid.h"
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+using namespace diehard;
+
+namespace {
+
+/// Serves traffic including the overflow-triggering request; returns 0 on a
+/// fully correct run.
+int serveTraffic(Allocator &Heap, const CheckedLibc *Checked) {
+  MiniSquid Server(Heap, Checked);
+  for (int I = 0; I < 60; ++I)
+    if (Server
+            .handleRequest("GET http://origin.example/obj" +
+                           std::to_string(I))
+            .rfind("200 ", 0) != 0)
+      return 1;
+  std::string IllFormed = "GET http://evil.example/";
+  IllFormed.append(300, 'A');
+  Server.handleRequest(IllFormed);
+  for (int I = 0; I < 200; ++I)
+    if (Server
+            .handleRequest("GET http://origin.example/post" +
+                           std::to_string(I))
+            .rfind("200 ", 0) != 0)
+      return 2;
+  return 0;
+}
+
+const char *describe(const ForkOutcome &Outcome) {
+  if (Outcome.cleanExit())
+    return "runs correctly";
+  if (Outcome.Signaled)
+    return "CRASH (segmentation fault)";
+  if (Outcome.TimedOut)
+    return "HANG";
+  return "incorrect output";
+}
+
+} // namespace
+
+int main() {
+  std::printf("Section 7.3: Squid buffer-overflow case study\n");
+  std::printf("(ill-formed request overflows a 64-byte heap buffer)\n");
+  bench::printRule();
+  std::printf("%-34s %s\n", "memory manager", "outcome");
+  bench::printRule();
+
+  {
+    ForkOutcome Outcome = runInFork([] {
+      LeaAllocator Lea(size_t(256) << 20);
+      return serveTraffic(Lea, nullptr);
+    });
+    std::printf("%-34s %s\n", "GNU-libc-style (Lea baseline)",
+                describe(Outcome));
+  }
+  {
+    // The BDW collector also stores no boundary tags, but the overflow
+    // still lands in adjacent live cache entries on a bump-allocated heap,
+    // corrupting server data; the paper observed a crash.
+    ForkOutcome Outcome = runInFork([] {
+      GcAllocator Gc(size_t(256) << 20);
+      return serveTraffic(Gc, nullptr);
+    });
+    std::printf("%-34s %s\n", "Boehm-Demers-Weiser-style GC",
+                describe(Outcome));
+  }
+  {
+    int Survived = 0;
+    for (int Run = 0; Run < 10; ++Run) {
+      ForkOutcome Outcome = runInFork([Run] {
+        DieHardOptions O;
+        O.HeapSize = 384 * 1024 * 1024;
+        O.Seed = static_cast<uint64_t>(Run) + 1;
+        DieHardAllocator A(O);
+        return serveTraffic(A, nullptr);
+      });
+      Survived += Outcome.cleanExit() ? 1 : 0;
+    }
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "runs correctly (%d/10 seeds)",
+                  Survived);
+    std::printf("%-34s %s\n", "DieHard (stand-alone)", Line);
+  }
+  {
+    ForkOutcome Outcome = runInFork([] {
+      DieHardOptions O;
+      O.HeapSize = 384 * 1024 * 1024;
+      O.Seed = 7;
+      DieHardAllocator A(O);
+      CheckedLibc Checked(A.heap());
+      return serveTraffic(A, &Checked);
+    });
+    std::printf("%-34s %s\n", "DieHard + checked libc (4.4)",
+                describe(Outcome));
+  }
+  bench::printRule();
+  std::printf("Paper anchor: Squid crashes under GNU libc and under the\n"
+              "BDW collector; with DieHard the overflow has no effect\n"
+              "(Section 7.3).\n");
+  return 0;
+}

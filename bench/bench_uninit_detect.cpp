@@ -1,0 +1,50 @@
+//===- bench/bench_uninit_detect.cpp - Theorem 3 table --------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates the Section 6.3 numbers: the probability that the replicated
+/// voter detects an uninitialized read of B bits with k replicas, including
+/// the paper's counterintuitive observation that extra replicas *lower*
+/// detection for narrow reads (82% -> 66.7% for 4 bits, 3 -> 4 replicas)
+/// while wide reads stay near certainty.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MonteCarlo.h"
+#include "analysis/Probability.h"
+#include "bench/BenchUtil.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+int main() {
+  std::printf("Section 6.3: Probability of Detecting an Uninitialized "
+              "Read\n");
+  std::printf("(analytic = Theorem 3, sim = Monte Carlo, 200k trials)\n");
+  bench::printRule();
+  std::printf("%-10s", "bits read");
+  const int ReplicaCounts[] = {3, 4, 5};
+  for (int K : ReplicaCounts)
+    std::printf("   k=%d analytic / sim ", K);
+  std::printf("\n");
+  bench::printRule();
+
+  Rng Rand(0x6E3);
+  for (int Bits : {1, 2, 4, 8, 16, 32}) {
+    std::printf("%-10d", Bits);
+    for (int K : ReplicaCounts) {
+      double Analytic = detectUninitReadProbability(Bits, K);
+      double Sim = simulateUninitDetect(Bits, K, 200000, Rand);
+      std::printf("    %7.3f%% / %7.3f%%", 100.0 * Analytic, 100.0 * Sim);
+    }
+    std::printf("\n");
+  }
+  bench::printRule();
+  std::printf("Paper anchors: B=4 drops 82%% -> 66.7%% going from three to\n"
+              "four replicas; B=16 stays above 99.99%% (Section 6.3).\n");
+  return 0;
+}

@@ -1,0 +1,164 @@
+//===- examples/diehard_launcher.cpp - the `diehard` command --------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's `diehard` command (Section 5): run an *unmodified binary*
+/// under k replicas, each with LD_PRELOAD pointing at the DieHard memory
+/// manager (libdiehard.so) seeded differently, broadcast standard input to
+/// all of them, and only emit output agreed on by at least two replicas.
+///
+/// Usage:
+///   diehard_launcher <path-to-libdiehard.so> <replicas> <command> [args..]
+///
+/// Example (one line):
+///   echo hello | ./build/examples/diehard_launcher
+///       ./build/src/interpose/libdiehard.so 3 /bin/cat
+///
+/// This launcher votes on each replica's complete output once all replicas
+/// finish (the library-level ReplicaManager votes incrementally in 4K
+/// chunks; batch programs produce identical results either way).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/RealRandomSource.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+struct Replica {
+  pid_t Pid = -1;
+  int StdinFd = -1;
+  int StdoutFd = -1;
+  std::string Output;
+  bool Exited = false;
+  int ExitCode = -1;
+};
+
+std::string readAll(int Fd) {
+  std::string All;
+  char Buf[4096];
+  ssize_t N;
+  while ((N = ::read(Fd, Buf, sizeof(Buf))) > 0)
+    All.append(Buf, static_cast<size_t>(N));
+  return All;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <libdiehard.so> <replicas> <command> [args..]\n",
+                 Argv[0]);
+    return 64;
+  }
+  const char *Library = Argv[1];
+  int K = std::atoi(Argv[2]);
+  if (K < 1 || K == 2) {
+    std::fprintf(stderr, "error: replicas must be 1 or >= 3 "
+                         "(a two-way vote cannot break ties)\n");
+    return 64;
+  }
+
+  // Read all of our standard input up front so it can be broadcast.
+  std::string Input = readAll(STDIN_FILENO);
+
+  std::vector<Replica> Replicas(static_cast<size_t>(K));
+  for (int I = 0; I < K; ++I) {
+    int InPipe[2], OutPipe[2];
+    if (::pipe(InPipe) != 0 || ::pipe(OutPipe) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    pid_t Pid = ::fork();
+    if (Pid == 0) {
+      // Child: wire stdin/stdout, point LD_PRELOAD at the DieHard library
+      // with a fresh random seed and replicated (random-fill) mode on.
+      ::dup2(InPipe[0], STDIN_FILENO);
+      ::dup2(OutPipe[1], STDOUT_FILENO);
+      ::close(InPipe[0]);
+      ::close(InPipe[1]);
+      ::close(OutPipe[0]);
+      ::close(OutPipe[1]);
+      for (int J = 0; J < I; ++J) {
+        ::close(Replicas[static_cast<size_t>(J)].StdinFd);
+        ::close(Replicas[static_cast<size_t>(J)].StdoutFd);
+      }
+      ::setenv("LD_PRELOAD", Library, 1);
+      char Seed[32];
+      std::snprintf(Seed, sizeof(Seed), "%llu",
+                    static_cast<unsigned long long>(
+                        diehard::realRandomSeed() | 1));
+      ::setenv("DIEHARD_SEED", Seed, 1);
+      ::setenv("DIEHARD_REPLICATED", "1", 1);
+      ::execvp(Argv[3], Argv + 3);
+      std::perror("execvp");
+      ::_exit(127);
+    }
+    ::close(InPipe[0]);
+    ::close(OutPipe[1]);
+    Replica &R = Replicas[static_cast<size_t>(I)];
+    R.Pid = Pid;
+    R.StdinFd = InPipe[1];
+    R.StdoutFd = OutPipe[0];
+  }
+
+  // Broadcast input, then close to signal EOF.
+  for (Replica &R : Replicas) {
+    size_t Off = 0;
+    while (Off < Input.size()) {
+      ssize_t N = ::write(R.StdinFd, Input.data() + Off,
+                          Input.size() - Off);
+      if (N <= 0)
+        break;
+      Off += static_cast<size_t>(N);
+    }
+    ::close(R.StdinFd);
+  }
+
+  // Collect each replica's full output and exit status.
+  for (Replica &R : Replicas) {
+    R.Output = readAll(R.StdoutFd);
+    ::close(R.StdoutFd);
+    int Status = 0;
+    ::waitpid(R.Pid, &Status, 0);
+    R.Exited = WIFEXITED(Status);
+    R.ExitCode = R.Exited ? WEXITSTATUS(Status) : -1;
+  }
+
+  // Vote: find an output shared by at least two replicas that exited
+  // cleanly (or accept the single replica in stand-alone mode).
+  for (int I = 0; I < K; ++I) {
+    const Replica &A = Replicas[static_cast<size_t>(I)];
+    if (!A.Exited || A.ExitCode != 0)
+      continue;
+    int Agreeing = 1;
+    for (int J = 0; J < K; ++J)
+      if (J != I && Replicas[static_cast<size_t>(J)].Exited &&
+          Replicas[static_cast<size_t>(J)].ExitCode == 0 &&
+          Replicas[static_cast<size_t>(J)].Output == A.Output)
+        ++Agreeing;
+    if (Agreeing >= 2 || K == 1) {
+      ::fwrite(A.Output.data(), 1, A.Output.size(), stdout);
+      std::fflush(stdout);
+      std::fprintf(stderr, "diehard: %d/%d replicas agreed\n", Agreeing, K);
+      return 0;
+    }
+  }
+
+  std::fprintf(stderr,
+               "diehard: no two replicas agreed — likely memory error "
+               "(e.g. uninitialized read); no output committed\n");
+  return 70;
+}

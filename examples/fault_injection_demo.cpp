@@ -1,0 +1,107 @@
+//===- examples/fault_injection_demo.cpp - resilience, quantified ---------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 7.3.1 methodology end to end, at demo scale:
+///
+///   1. trace a deterministic workload to learn every object's lifetime;
+///   2. re-run it with a fault injector that frees objects early and
+///      under-allocates requests, at chosen frequencies;
+///   3. compare survival under a freelist allocator versus DieHard.
+///
+/// Usage: fault_injection_demo [dangling-pct] [overflow-pct]
+/// (defaults: 50 1 — the paper's configuration)
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "faultinject/FaultInjector.h"
+#include "faultinject/TraceAllocator.h"
+#include "workloads/ForkHarness.h"
+#include "workloads/SyntheticWorkload.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace diehard;
+
+namespace {
+
+WorkloadParams demoWorkload() {
+  WorkloadParams P;
+  P.Name = "demo";
+  P.MemoryOps = 60000;
+  P.MinSize = 8;
+  P.MaxSize = 512;
+  P.Shape = SizeShape::SmallBiased;
+  P.MaxLive = 2000;
+  P.Seed = 0xDE40;
+  return P;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double DanglingPct = Argc > 1 ? std::atof(Argv[1]) : 50.0;
+  double OverflowPct = Argc > 2 ? std::atof(Argv[2]) : 1.0;
+
+  std::printf("Fault-injection demo: dangling %.1f%% (distance 10), "
+              "overflow %.1f%% (4-byte under-allocation)\n\n",
+              DanglingPct, OverflowPct);
+
+  // Step 1: trace the workload once to learn object lifetimes and the
+  // correct checksum.
+  SyntheticWorkload W(demoWorkload());
+  DieHardOptions TraceHeap;
+  TraceHeap.HeapSize = 128 * 1024 * 1024;
+  TraceHeap.Seed = 1;
+  DieHardAllocator TraceInner(TraceHeap);
+  TraceAllocator Tracer(TraceInner);
+  WorkloadResult Clean = W.run(Tracer);
+  std::printf("traced %zu allocations; fault-free checksum %016llx\n\n",
+              Tracer.trace().size(),
+              static_cast<unsigned long long>(Clean.Checksum));
+
+  FaultConfig Config;
+  Config.DanglingProbability = DanglingPct / 100.0;
+  Config.DanglingDistance = 10;
+  Config.OverflowProbability = OverflowPct / 100.0;
+  Config.OverflowMinSize = 32;
+  Config.UnderAllocateBytes = 4;
+
+  // Step 2 + 3: run five injected trials under each allocator.
+  for (const char *Which : {"freelist (Lea)", "DieHard"}) {
+    bool UseDieHard = Which[0] == 'D';
+    std::printf("%s:\n", Which);
+    for (int Run = 0; Run < 5; ++Run) {
+      FaultConfig C = Config;
+      C.Seed = static_cast<uint64_t>(Run) * 31 + 7;
+      ForkOutcome Outcome = runInFork([&]() -> int {
+        if (UseDieHard) {
+          DieHardOptions O;
+          O.HeapSize = 384 * 1024 * 1024;
+          O.Seed = 0;
+          DieHardAllocator A(O);
+          FaultInjector Injector(A, Tracer.trace(), C);
+          return W.run(Injector).Checksum == Clean.Checksum ? 0 : 1;
+        }
+        LeaAllocator Lea(size_t(512) << 20);
+        FaultInjector Injector(Lea, Tracer.trace(), C);
+        return W.run(Injector).Checksum == Clean.Checksum ? 0 : 1;
+      });
+      const char *Result = Outcome.cleanExit() ? "completed correctly"
+                           : Outcome.Signaled  ? "CRASHED"
+                           : Outcome.TimedOut  ? "HUNG"
+                                               : "wrong output";
+      std::printf("  run %d: %s\n", Run + 1, Result);
+    }
+  }
+  std::printf("\nThe same faults, the same workload: the freelist heap\n"
+              "corrupts itself while DieHard keeps computing the right\n"
+              "answer (Section 7.3.1).\n");
+  return 0;
+}

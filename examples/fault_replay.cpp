@@ -1,0 +1,104 @@
+//===- examples/fault_replay.cpp - inject faults from a trace -------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase two of the Section 7.3.1 pipeline as a command-line tool: re-run
+/// a traced workload with the fault injector between the application and
+/// the allocator of your choice, at chosen frequencies, and report the
+/// outcome (completed / crashed / hung) across several runs.
+///
+/// Usage:
+///   fault_replay <workload> <trace-file> <allocator>
+///                [dangling-pct] [overflow-pct] [runs]
+///   allocator: lea | diehard
+///
+/// Example (the paper's configuration, Section 7.3.1):
+///   trace_record espresso /tmp/espresso.trace
+///   fault_replay espresso /tmp/espresso.trace lea     50 1 10
+///   fault_replay espresso /tmp/espresso.trace diehard 50 1 10
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "faultinject/FaultInjector.h"
+#include "faultinject/TraceIO.h"
+#include "workloads/ForkHarness.h"
+#include "workloads/WorkloadSuite.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace diehard;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 4) {
+    std::fprintf(stderr,
+                 "usage: %s <workload> <trace-file> <lea|diehard> "
+                 "[dangling-pct] [overflow-pct] [runs]\n",
+                 Argv[0]);
+    return 64;
+  }
+  std::string Workload = Argv[1];
+  std::string TracePath = Argv[2];
+  bool UseDieHard = std::strcmp(Argv[3], "diehard") == 0;
+  double DanglingPct = Argc > 4 ? std::atof(Argv[4]) : 50.0;
+  double OverflowPct = Argc > 5 ? std::atof(Argv[5]) : 1.0;
+  int Runs = Argc > 6 ? std::atoi(Argv[6]) : 10;
+
+  AllocationTrace Trace;
+  if (!readTrace(Trace, TracePath)) {
+    std::fprintf(stderr, "error: cannot read trace %s\n", TracePath.c_str());
+    return 1;
+  }
+
+  WorkloadParams Params = findWorkload(Workload);
+  SyntheticWorkload W(Params);
+
+  // Recompute the fault-free checksum locally (allocator-independent).
+  SystemAllocator Reference;
+  uint64_t Clean = W.run(Reference).Checksum;
+
+  std::printf("replaying '%s' under %s: dangling %.1f%% (distance 10), "
+              "overflow %.1f%%, %d runs\n",
+              Params.Name.c_str(), UseDieHard ? "DieHard" : "Lea malloc",
+              DanglingPct, OverflowPct, Runs);
+
+  int Survived = 0;
+  for (int Run = 0; Run < Runs; ++Run) {
+    FaultConfig Config;
+    Config.DanglingProbability = DanglingPct / 100.0;
+    Config.DanglingDistance = 10;
+    Config.OverflowProbability = OverflowPct / 100.0;
+    Config.OverflowMinSize = 32;
+    Config.UnderAllocateBytes = 4;
+    Config.Seed = static_cast<uint64_t>(Run) * 7919 + 13;
+
+    ForkOutcome Outcome = runInFork([&]() -> int {
+      if (UseDieHard) {
+        DieHardOptions O;
+        O.HeapSize = 384 * 1024 * 1024;
+        O.Seed = 0;
+        DieHardAllocator A(O);
+        FaultInjector Injector(A, Trace, Config);
+        return W.run(Injector).Checksum == Clean ? 0 : 1;
+      }
+      LeaAllocator Lea(size_t(512) << 20);
+      FaultInjector Injector(Lea, Trace, Config);
+      return W.run(Injector).Checksum == Clean ? 0 : 1;
+    });
+    const char *Result = Outcome.cleanExit() ? "completed correctly"
+                         : Outcome.Signaled  ? "CRASHED"
+                         : Outcome.TimedOut  ? "HUNG"
+                                             : "wrong output";
+    std::printf("  run %2d: %s\n", Run + 1, Result);
+    Survived += Outcome.cleanExit() ? 1 : 0;
+  }
+  std::printf("%d/%d runs correct\n", Survived, Runs);
+  return Survived == Runs ? 0 : 2;
+}

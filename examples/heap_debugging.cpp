@@ -1,0 +1,86 @@
+//===- examples/heap_debugging.cpp - crash dump without the crash ---------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Section 9 debugging idea in action: "by differencing the heaps of
+/// correct and incorrect executions ... pinpoint the exact locations of
+/// memory errors and report these as part of a crash dump without the
+/// crash."
+///
+/// A toy order-processing program has an overflow bug that triggers only on
+/// a malicious order name. We run it twice with the same DieHard seed —
+/// identical layouts — once with benign input and once with the trigger,
+/// snapshot both heaps, and print the diff: the exact victim objects and
+/// byte ranges, with no crash anywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DieHardHeap.h"
+#include "debug/HeapDiff.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace diehard;
+
+namespace {
+
+/// A toy program: builds a batch of fixed-size order records, then copies
+/// the (possibly attacker-controlled) customer note into record 12 with an
+/// unchecked strcpy.
+void processOrders(DieHardHeap &Heap, const std::string &CustomerNote,
+                   std::vector<char *> &Records) {
+  for (int I = 0; I < 32; ++I) {
+    auto *Rec = static_cast<char *>(Heap.allocate(128));
+    std::snprintf(Rec, 128, "order-%03d qty=%d", I, (I * 7) % 13);
+    Records.push_back(Rec);
+  }
+  // The bug: no bounds check on the customer-supplied note.
+  std::strcpy(Records[12] + 32, CustomerNote.c_str());
+}
+
+} // namespace
+
+int main() {
+  constexpr uint64_t SharedSeed = 0xDEB06;
+
+  std::printf("Heap differencing: pinpointing an overflow without a "
+              "crash\n\n");
+
+  // Reference execution: benign input.
+  DieHardOptions O;
+  O.HeapSize = 64 * 1024 * 1024;
+  O.Seed = SharedSeed;
+  DieHardHeap Reference(O);
+  std::vector<char *> RefRecords;
+  processOrders(Reference, "gift wrap please", RefRecords);
+  HeapSnapshot RefSnap = HeapSnapshot::capture(Reference);
+  std::printf("reference run: %zu live objects, input \"gift wrap "
+              "please\"\n",
+              RefSnap.objectCount());
+
+  // Suspect execution: same seed, malicious input.
+  DieHardHeap Suspect(O);
+  std::vector<char *> SusRecords;
+  std::string Attack(200, '!');
+  processOrders(Suspect, Attack, SusRecords);
+  HeapSnapshot SusSnap = HeapSnapshot::capture(Suspect);
+  std::printf("suspect run:   %zu live objects, input of %zu '!' bytes\n\n",
+              SusSnap.objectCount(), Attack.size());
+
+  // The diff localizes the error precisely.
+  auto Diff = diffHeapSnapshots(RefSnap, SusSnap);
+  std::printf("heap diff (victims of the overflow):\n%s\n",
+              formatHeapDiff(Diff).c_str());
+  std::printf("The first entry is the buggy record itself (bytes from\n"
+              "offset 32 differ — that is where the copy starts); further\n"
+              "entries are innocent neighbours the overflow reached. The\n"
+              "byte ranges hand the developer the write's exact extent —\n"
+              "a crash dump without the crash (Section 9).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+//===- examples/real_apps_tour.cpp - the benchmark apps, live -------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tour of the three real miniature applications built for the evaluation
+/// (cfrac, espresso, and lindsay cores), each running on a DieHard heap
+/// with its allocation behaviour reported — a feel for why these programs
+/// anchor the paper's allocation-intensive suite.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniCfrac.h"
+#include "apps/MiniEspresso.h"
+#include "apps/MiniLindsay.h"
+#include "baselines/DieHardAllocator.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+namespace {
+
+DieHardAllocator *freshHeap() {
+  DieHardOptions O;
+  O.HeapSize = 384 * 1024 * 1024;
+  O.Seed = 0;
+  return new DieHardAllocator(O);
+}
+
+void report(const char *Name, DieHardAllocator *A, uint64_t Checksum) {
+  const DieHardStats &S = A->heap().stats();
+  std::printf("%-22s checksum %016llx\n", Name,
+              static_cast<unsigned long long>(Checksum));
+  std::printf("%-22s %llu allocations, %llu frees, %.2f probes/alloc\n\n",
+              "", static_cast<unsigned long long>(S.Allocations),
+              static_cast<unsigned long long>(S.Frees),
+              static_cast<double>(S.Probes) /
+                  static_cast<double>(S.Allocations ? S.Allocations : 1));
+  delete A;
+}
+
+} // namespace
+
+int main() {
+  std::printf("The paper's allocation-intensive programs, in miniature, on "
+              "DieHard\n\n");
+
+  {
+    // cfrac: continued-fraction convergents with allocator-backed bignums.
+    DieHardAllocator *A = freshHeap();
+    uint64_t Sum = runCfracWorkload(*A, 30, 200, 0xC0FFEE);
+    std::printf("cfrac-core: sqrt continued fractions, e.g. sqrt(2) "
+                "convergent p/q after 20 terms:\n");
+    {
+      std::vector<uint32_t> Terms = sqrtContinuedFraction(2, 20);
+      Convergent C = foldConvergent(*A, Terms);
+      std::printf("  p = %s\n  q = %s\n", C.P.toDecimal().c_str(),
+                  C.Q.toDecimal().c_str());
+    }
+    report("cfrac-core", A, Sum);
+  }
+
+  {
+    // espresso: two-level minimization of random ON-sets.
+    DieHardAllocator *A = freshHeap();
+    uint64_t Sum = runEspressoWorkload(*A, 100, 10, 120, 0xE59);
+    {
+      // Scoped so the cover releases its cubes before the heap goes away.
+      Cover Demo(*A, 3);
+      for (uint32_t M = 0; M < 8; ++M)
+        if (M & 1)
+          Demo.addMinterm(M);
+      size_t Before = Demo.cubeCount();
+      Demo.minimize();
+      std::printf("espresso-core: f = x0 over 3 vars minimizes %zu cubes "
+                  "-> %zu cube\n",
+                  Before, Demo.cubeCount());
+    }
+    report("espresso-core", A, Sum);
+  }
+
+  {
+    // lindsay: hypercube message routing.
+    DieHardAllocator *A = freshHeap();
+    LindsayConfig Config;
+    Config.Dimensions = 8;
+    Config.Messages = 20000;
+    LindsayResult R = runLindsay(*A, Config);
+    std::printf("lindsay-core: %llu messages, %llu hops on a %d-cube\n",
+                static_cast<unsigned long long>(R.MessagesDelivered),
+                static_cast<unsigned long long>(R.TotalHops),
+                Config.Dimensions);
+    report("lindsay-core", A, R.RoutingSummary);
+  }
+
+  std::printf("Every object above lived at a uniformly random heap slot;\n"
+              "rerun and the checksums stay identical while every address\n"
+              "changes.\n");
+  return 0;
+}

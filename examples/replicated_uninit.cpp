@@ -1,0 +1,86 @@
+//===- examples/replicated_uninit.cpp - catching uninitialized reads ------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replicated mode as an error-detecting tool (Sections 3.2, 5, 6.3).
+/// A small "statistics" program computes a summary over heap data but — due
+/// to an off-by-one — reads one value it never initialized. Three replicas
+/// with differently seeded, random-filling heaps disagree on the output,
+/// and the voter reports the bug instead of committing garbage. The fixed
+/// version of the same program agrees unanimously.
+///
+/// The paper notes DieHard found real uninitialized reads in its benchmark
+/// suite this way, in seconds, where Valgrind took two orders of magnitude
+/// longer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DieHardHeap.h"
+#include "replication/Replication.h"
+
+#include <cstdio>
+
+using namespace diehard;
+
+namespace {
+
+/// Sums `Count` ints from a heap array the program filled with 1..Count.
+/// When `Buggy`, the fill loop stops one short — the classic off-by-one —
+/// so the last element read is uninitialized memory.
+int statsProgram(ReplicaContext &Ctx, bool Buggy) {
+  DieHardHeap Heap(Ctx.heapOptions());
+  constexpr int Count = 16;
+  auto *Values = static_cast<int *>(Heap.allocate(Count * sizeof(int)));
+  if (Values == nullptr)
+    return 1;
+  int Fill = Buggy ? Count - 1 : Count;
+  for (int I = 0; I < Fill; ++I)
+    Values[I] = I + 1;
+  long Sum = 0;
+  for (int I = 0; I < Count; ++I) // Reads Values[15] uninitialized if buggy.
+    Sum += Values[I];
+  char Line[64];
+  int N = std::snprintf(Line, sizeof(Line), "sum = %ld\n", Sum);
+  Ctx.write(Line, static_cast<size_t>(N));
+  Heap.deallocate(Values);
+  return 0;
+}
+
+void runOnce(const char *Label, bool Buggy) {
+  ReplicationOptions Options;
+  Options.Replicas = 3;
+  Options.MasterSeed = 0; // Truly random seeds, like `diehard 3 app`.
+  Options.HeapSize = 32 * 1024 * 1024;
+  ReplicaManager Manager(Options);
+
+  std::printf("%s:\n", Label);
+  ReplicationResult R = Manager.run(
+      [Buggy](ReplicaContext &Ctx) { return statsProgram(Ctx, Buggy); },
+      "");
+  if (R.Success) {
+    std::printf("  replicas agreed; committed output: %s",
+                R.Output.c_str());
+  } else if (R.UninitReadDetected) {
+    std::printf("  replicas all disagreed -> uninitialized read detected; "
+                "no output committed\n");
+  } else {
+    std::printf("  replication failed\n");
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("Replicated DieHard as an uninitialized-read detector\n\n");
+  runOnce("correct program (fills all 16 values)", /*Buggy=*/false);
+  runOnce("buggy program (off-by-one leaves one value uninitialized)",
+          /*Buggy=*/true);
+  std::printf("\nEach replica fills fresh objects with different random\n"
+              "values, so a read of uninitialized memory yields a\n"
+              "different sum in every replica — and the voter refuses to\n"
+              "commit (Section 6.3).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+//===- examples/trace_record.cpp - record an allocation log ---------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Phase one of the Section 7.3.1 pipeline as a command-line tool: run a
+/// named benchmark workload under the tracing allocator and write its
+/// allocation log (and fault-free checksum) to a file that fault_replay
+/// consumes.
+///
+/// Usage: trace_record <workload> <trace-file>
+///   workload: cfrac | espresso | lindsay | p2c | roboop | ...
+///
+//===----------------------------------------------------------------------===//
+
+#include "baselines/DieHardAllocator.h"
+#include "faultinject/TraceAllocator.h"
+#include "faultinject/TraceIO.h"
+#include "workloads/WorkloadSuite.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace diehard;
+
+int main(int Argc, char **Argv) {
+  if (Argc != 3) {
+    std::fprintf(stderr, "usage: %s <workload> <trace-file>\n", Argv[0]);
+    std::fprintf(stderr, "workloads:");
+    for (const WorkloadParams &P : allocationIntensiveSuite())
+      std::fprintf(stderr, " %s", P.Name.c_str());
+    std::fprintf(stderr, "\n");
+    return 64;
+  }
+
+  WorkloadParams Params = findWorkload(Argv[1]);
+  SyntheticWorkload W(Params);
+
+  DieHardOptions O;
+  O.HeapSize = 384 * 1024 * 1024;
+  O.Seed = 0x7ACE;
+  DieHardAllocator Inner(O);
+  TraceAllocator Tracer(Inner);
+  WorkloadResult R = W.run(Tracer);
+
+  if (!writeTrace(Tracer.trace(), Argv[2])) {
+    std::fprintf(stderr, "error: cannot write %s\n", Argv[2]);
+    return 1;
+  }
+  std::printf("traced %zu allocations of '%s' to %s\n",
+              Tracer.trace().size(), Params.Name.c_str(), Argv[2]);
+  std::printf("fault-free checksum: %016llx\n",
+              static_cast<unsigned long long>(R.Checksum));
+  return 0;
+}

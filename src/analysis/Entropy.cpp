@@ -1,0 +1,54 @@
+//===- analysis/Entropy.cpp -----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Entropy.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace diehard {
+
+EntropyEstimate estimatePlacementEntropy(
+    const std::function<uint64_t(uint64_t Seed)> &PlacementForSeed,
+    int Samples) {
+  assert(Samples > 0 && "need at least one sample");
+  std::map<uint64_t, int> Counts;
+  for (int S = 0; S < Samples; ++S)
+    ++Counts[PlacementForSeed(static_cast<uint64_t>(S) * 2654435761u + 1)];
+
+  EntropyEstimate Estimate;
+  Estimate.Samples = Samples;
+  Estimate.DistinctValues = Counts.size();
+  int Modal = 0;
+  double Shannon = 0.0;
+  for (const auto &[Value, Count] : Counts) {
+    double P = static_cast<double>(Count) / Samples;
+    Shannon -= P * std::log2(P);
+    Modal = Count > Modal ? Count : Modal;
+  }
+  Estimate.ShannonBits = Shannon;
+  Estimate.MinEntropyBits =
+      -std::log2(static_cast<double>(Modal) / Samples);
+  return Estimate;
+}
+
+double measureAdjacencyRate(
+    const std::function<std::pair<uintptr_t, uintptr_t>(uint64_t Seed)>
+        &PairForSeed,
+    size_t ObjectSize, int Samples) {
+  assert(Samples > 0 && "need at least one sample");
+  int Adjacent = 0;
+  for (int S = 0; S < Samples; ++S) {
+    auto [First, Second] =
+        PairForSeed(static_cast<uint64_t>(S) * 40503u + 11);
+    uintptr_t Delta = Second > First ? Second - First : First - Second;
+    Adjacent += Delta == ObjectSize ? 1 : 0;
+  }
+  return static_cast<double>(Adjacent) / Samples;
+}
+
+} // namespace diehard

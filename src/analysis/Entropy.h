@@ -1,0 +1,57 @@
+//===- analysis/Entropy.h - layout unpredictability -------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimators for allocation-layout unpredictability, quantifying the
+/// paper's security observation (Section 8): base-address randomization
+/// provides little protection, whereas "DieHard makes it difficult for an
+/// attacker to predict the layout or adjacency of objects in any replica".
+/// We measure two attacker-relevant quantities:
+///
+///  * the entropy of an object's placement (how many guesses an attacker
+///    needs to locate a victim object), and
+///  * the adjacency rate of consecutive allocations (how reliably a heap
+///    groom places attacker data next to a victim).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_ANALYSIS_ENTROPY_H
+#define DIEHARD_ANALYSIS_ENTROPY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace diehard {
+
+/// Result of an entropy estimation over observed placements.
+struct EntropyEstimate {
+  double ShannonBits = 0.0; ///< Plug-in Shannon entropy of the samples.
+  double MinEntropyBits = 0.0; ///< -log2(frequency of the modal value).
+  size_t DistinctValues = 0;   ///< Support size observed.
+  int Samples = 0;
+};
+
+/// Estimates the entropy of a placement function: \p PlacementForSeed maps
+/// an allocator seed to the observed placement (e.g. the slot offset of
+/// the first allocation). Called with \p Samples distinct seeds.
+EntropyEstimate estimatePlacementEntropy(
+    const std::function<uint64_t(uint64_t Seed)> &PlacementForSeed,
+    int Samples);
+
+/// Measures how often two consecutive same-size allocations are adjacent
+/// in memory (distance exactly the object size). \p PairForSeed returns
+/// the two addresses for a fresh allocator seeded with the given seed.
+/// \returns the adjacency rate in [0, 1] — ~1 for bump/freelist
+/// allocators, ~1/slots for DieHard.
+double measureAdjacencyRate(
+    const std::function<std::pair<uintptr_t, uintptr_t>(uint64_t Seed)>
+        &PairForSeed,
+    size_t ObjectSize, int Samples);
+
+} // namespace diehard
+
+#endif // DIEHARD_ANALYSIS_ENTROPY_H

@@ -1,0 +1,87 @@
+//===- analysis/MonteCarlo.cpp --------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MonteCarlo.h"
+
+#include "support/Bitmap.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace diehard {
+
+double simulateOverflowMask(size_t HeapSlots, size_t LiveSlots,
+                            int OverflowObjects, int Replicas, int Trials,
+                            Rng &Rand) {
+  assert(LiveSlots <= HeapSlots && "live set cannot exceed the heap");
+  assert(Trials > 0 && Replicas >= 1);
+  double LiveFraction =
+      static_cast<double>(LiveSlots) / static_cast<double>(HeapSlots);
+  int Masked = 0;
+  for (int T = 0; T < Trials; ++T) {
+    bool AnyReplicaSurvived = false;
+    for (int R = 0; R < Replicas && !AnyReplicaSurvived; ++R) {
+      // Each replica has its own random layout, so each overwritten slot is
+      // live independently with probability L/H (the paper's model treats
+      // the overflow as writes to uniformly random heap locations).
+      bool HitLive = false;
+      for (int O = 0; O < OverflowObjects && !HitLive; ++O)
+        HitLive = Rand.nextDouble() < LiveFraction;
+      AnyReplicaSurvived = !HitLive;
+    }
+    Masked += AnyReplicaSurvived ? 1 : 0;
+  }
+  return static_cast<double>(Masked) / Trials;
+}
+
+double simulateDanglingMask(size_t FreeSlots, size_t Allocations,
+                            int Replicas, int Trials, Rng &Rand) {
+  assert(FreeSlots > 0 && Trials > 0 && Replicas >= 1);
+  if (Allocations >= FreeSlots)
+    return 0.0;
+  int Masked = 0;
+  std::vector<uint32_t> Slots(FreeSlots);
+  for (int T = 0; T < Trials; ++T) {
+    bool AnyReplicaSurvived = false;
+    for (int R = 0; R < Replicas && !AnyReplicaSurvived; ++R) {
+      // Sample `Allocations` distinct slots out of FreeSlots via a partial
+      // Fisher-Yates shuffle; the prematurely freed object lives in slot 0
+      // by symmetry.
+      for (uint32_t I = 0; I < Slots.size(); ++I)
+        Slots[I] = I;
+      bool Reused = false;
+      for (size_t A = 0; A < Allocations && !Reused; ++A) {
+        uint32_t Pick =
+            A + Rand.nextBounded(static_cast<uint32_t>(FreeSlots - A));
+        std::swap(Slots[A], Slots[Pick]);
+        Reused = Slots[A] == 0;
+      }
+      AnyReplicaSurvived = !Reused;
+    }
+    Masked += AnyReplicaSurvived ? 1 : 0;
+  }
+  return static_cast<double>(Masked) / Trials;
+}
+
+double simulateUninitDetect(int Bits, int Replicas, int Trials, Rng &Rand) {
+  assert(Bits >= 1 && Bits <= 32 && Trials > 0 && Replicas >= 1);
+  uint32_t Mask = Bits == 32 ? ~uint32_t(0) : ((uint32_t(1) << Bits) - 1);
+  int Detected = 0;
+  std::vector<uint32_t> Values(static_cast<size_t>(Replicas));
+  for (int T = 0; T < Trials; ++T) {
+    for (auto &V : Values)
+      V = Rand.next() & Mask;
+    // Detection requires all replicas to disagree pairwise.
+    std::sort(Values.begin(), Values.end());
+    bool AllDistinct =
+        std::adjacent_find(Values.begin(), Values.end()) == Values.end();
+    Detected += AllDistinct ? 1 : 0;
+  }
+  return static_cast<double>(Detected) / Trials;
+}
+
+} // namespace diehard

@@ -1,0 +1,47 @@
+//===- analysis/MonteCarlo.h - simulation cross-checks ----------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monte-Carlo simulators for the Section 6 analyses. Each simulator models
+/// the randomized heap abstractly (a bitmap of slots with uniform placement)
+/// and estimates the same probabilities as the closed forms in
+/// Probability.h, providing an independent check that the formulas — and the
+/// allocator that realizes them — are consistent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_ANALYSIS_MONTECARLO_H
+#define DIEHARD_ANALYSIS_MONTECARLO_H
+
+#include "support/Rng.h"
+
+#include <cstddef>
+
+namespace diehard {
+
+/// Estimates Theorem 1 by simulation: a heap of \p HeapSlots with
+/// \p LiveSlots live objects per replica; an overflow writes
+/// \p OverflowObjects uniformly random slots; the overflow is masked when at
+/// least one of \p Replicas replicas has no live slot hit.
+double simulateOverflowMask(size_t HeapSlots, size_t LiveSlots,
+                            int OverflowObjects, int Replicas, int Trials,
+                            Rng &Rand);
+
+/// Estimates Theorem 2 by simulation: one slot out of \p FreeSlots is freed
+/// prematurely; \p Allocations subsequent allocations each take a uniformly
+/// random currently-free slot (no intervening frees, the worst case); the
+/// error is masked when at least one replica never reuses the slot.
+double simulateDanglingMask(size_t FreeSlots, size_t Allocations,
+                            int Replicas, int Trials, Rng &Rand);
+
+/// Estimates Theorem 3 by simulation: each of \p Replicas replicas fills a
+/// \p Bits-bit region with random data; the uninitialized read is detected
+/// when all replicas pairwise disagree.
+double simulateUninitDetect(int Bits, int Replicas, int Trials, Rng &Rand);
+
+} // namespace diehard
+
+#endif // DIEHARD_ANALYSIS_MONTECARLO_H

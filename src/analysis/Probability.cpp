@@ -1,0 +1,60 @@
+//===- analysis/Probability.cpp -------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Probability.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace diehard {
+
+double maskOverflowProbability(double FreeFraction, int OverflowObjects,
+                               int Replicas) {
+  assert(FreeFraction >= 0.0 && FreeFraction <= 1.0 &&
+         "F/H must be a fraction");
+  assert(OverflowObjects >= 0 && "overflow size cannot be negative");
+  assert(Replicas >= 1 && Replicas != 2 &&
+         "the voter needs one replica or at least three");
+  // Odds one replica's overflow hits only free space: (F/H)^O.
+  double PerReplica = std::pow(FreeFraction, OverflowObjects);
+  // Masked if at least one replica survives.
+  return 1.0 - std::pow(1.0 - PerReplica, Replicas);
+}
+
+double maskDanglingProbability(size_t FreeBytes, size_t ObjectSize,
+                               size_t Allocations, int Replicas) {
+  assert(ObjectSize > 0 && "object size must be positive");
+  assert(Replicas >= 1 && Replicas != 2 &&
+         "the voter needs one replica or at least three");
+  double Q = static_cast<double>(FreeBytes) /
+             static_cast<double>(ObjectSize); // Slots in the bitmap.
+  double A = static_cast<double>(Allocations);
+  if (A >= Q)
+    return 0.0; // Beyond the theorem's A <= F/S validity range.
+  // One replica overwrites the slot with probability A/Q; masking needs at
+  // least one replica not to.
+  return 1.0 - std::pow(A / Q, Replicas);
+}
+
+double detectUninitReadProbability(int Bits, int Replicas) {
+  assert(Bits >= 1 && Bits < 64 && "bit count out of supported range");
+  assert(Replicas >= 1 && "need at least one replica");
+  // Product form of (2^B)! / ((2^B - k)! 2^(Bk)): prod_{i<k} (2^B - i)/2^B.
+  double Domain = std::ldexp(1.0, Bits); // 2^B.
+  if (Replicas > Domain)
+    return 0.0; // Pigeonhole: some pair of replicas must collide.
+  double P = 1.0;
+  for (int I = 0; I < Replicas; ++I)
+    P *= (Domain - I) / Domain;
+  return P;
+}
+
+double expectedProbes(double M) {
+  assert(M > 1.0 && "expansion factor must exceed 1");
+  return 1.0 / (1.0 - 1.0 / M);
+}
+
+} // namespace diehard

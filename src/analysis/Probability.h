@@ -1,0 +1,58 @@
+//===- analysis/Probability.h - Theorems 1-3 closed forms -------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closed-form probabilities from Section 6 of the paper. These quantify the
+/// probabilistic memory safety of the stand-alone (k = 1) and replicated
+/// (k >= 3) configurations and are what Figures 4(a) and 4(b) plot.
+///
+/// Notation (Figure 1): M is the heap expansion factor, H the heap size, L
+/// the maximum live size (L <= H/M), F = H - L the free space, O the number
+/// of objects' worth of bytes overflowed, A the allocations intervening
+/// after a premature free, S the object size, k the number of replicas, and
+/// B the number of uninitialized bits read.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_ANALYSIS_PROBABILITY_H
+#define DIEHARD_ANALYSIS_PROBABILITY_H
+
+#include <cstddef>
+
+namespace diehard {
+
+/// Theorem 1: probability that a buffer overflow of \p OverflowObjects
+/// objects' worth of bytes overwrites no live data in at least one of
+/// \p Replicas replicas, with \p FreeFraction = F/H free space.
+///
+/// P = 1 - (1 - (F/H)^O)^k. Valid for k != 2 (a two-replica voter cannot
+/// break ties); asserts on k == 2.
+double maskOverflowProbability(double FreeFraction, int OverflowObjects,
+                               int Replicas);
+
+/// Theorem 2: lower bound on the probability that a prematurely freed object
+/// of size \p ObjectSize is still intact after \p Allocations intervening
+/// allocations, with \p FreeBytes of free heap per replica.
+///
+/// P >= 1 - (A/(F/S))^k, valid for A <= F/S; asserts on k == 2.
+double maskDanglingProbability(size_t FreeBytes, size_t ObjectSize,
+                               size_t Allocations, int Replicas);
+
+/// Theorem 3: probability that an uninitialized read of \p Bits bits is
+/// detected by \p Replicas replicas (all replicas must disagree), assuming a
+/// non-narrowing, non-widening computation.
+///
+/// P = (2^B)! / ((2^B - k)! * 2^(B*k)), computed in product form so large B
+/// does not overflow. Requires k <= 2^B for a nonzero result.
+double detectUninitReadProbability(int Bits, int Replicas);
+
+/// Expected number of bitmap probes per allocation for heap expansion factor
+/// \p M: 1 / (1 - 1/M) (Section 4.2).
+double expectedProbes(double M);
+
+} // namespace diehard
+
+#endif // DIEHARD_ANALYSIS_PROBABILITY_H

@@ -1,0 +1,202 @@
+//===- apps/Bignum.cpp ----------------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Bignum.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+Bignum::Bignum(Allocator &Heap) : Heap(&Heap) {}
+
+Bignum::Bignum(Allocator &Heap, uint64_t Value) : Heap(&Heap) {
+  if (Value == 0)
+    return;
+  reserve(2);
+  Digits[0] = static_cast<uint32_t>(Value);
+  Digits[1] = static_cast<uint32_t>(Value >> 32);
+  Count = Digits[1] != 0 ? 2 : 1;
+}
+
+Bignum::Bignum(const Bignum &Other) : Heap(Other.Heap) {
+  if (Other.Count == 0)
+    return;
+  reserve(Other.Count);
+  std::memcpy(Digits, Other.Digits, Other.Count * sizeof(uint32_t));
+  Count = Other.Count;
+}
+
+Bignum::Bignum(Bignum &&Other) noexcept
+    : Heap(Other.Heap), Digits(Other.Digits), Count(Other.Count),
+      Capacity(Other.Capacity) {
+  Other.Digits = nullptr;
+  Other.Count = 0;
+  Other.Capacity = 0;
+}
+
+Bignum &Bignum::operator=(const Bignum &Other) {
+  if (this == &Other)
+    return *this;
+  Count = 0;
+  if (Other.Count != 0) {
+    reserve(Other.Count);
+    std::memcpy(Digits, Other.Digits, Other.Count * sizeof(uint32_t));
+    Count = Other.Count;
+  }
+  return *this;
+}
+
+Bignum &Bignum::operator=(Bignum &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Digits != nullptr)
+    Heap->deallocate(Digits);
+  Heap = Other.Heap;
+  Digits = Other.Digits;
+  Count = Other.Count;
+  Capacity = Other.Capacity;
+  Other.Digits = nullptr;
+  Other.Count = 0;
+  Other.Capacity = 0;
+  return *this;
+}
+
+Bignum::~Bignum() {
+  if (Digits != nullptr)
+    Heap->deallocate(Digits);
+}
+
+void Bignum::reserve(size_t NeededDigits) {
+  if (NeededDigits <= Capacity)
+    return;
+  size_t NewCapacity = Capacity == 0 ? 4 : Capacity;
+  while (NewCapacity < NeededDigits)
+    NewCapacity *= 2;
+  auto *Fresh =
+      static_cast<uint32_t *>(Heap->allocate(NewCapacity * sizeof(uint32_t)));
+  assert(Fresh != nullptr && "bignum digit allocation failed");
+  if (Count != 0)
+    std::memcpy(Fresh, Digits, Count * sizeof(uint32_t));
+  if (Digits != nullptr)
+    Heap->deallocate(Digits);
+  Digits = Fresh;
+  Capacity = NewCapacity;
+}
+
+void Bignum::trim() {
+  while (Count > 0 && Digits[Count - 1] == 0)
+    --Count;
+}
+
+int Bignum::compare(const Bignum &Other) const {
+  if (Count != Other.Count)
+    return Count < Other.Count ? -1 : 1;
+  for (size_t I = Count; I-- > 0;)
+    if (Digits[I] != Other.Digits[I])
+      return Digits[I] < Other.Digits[I] ? -1 : 1;
+  return 0;
+}
+
+void Bignum::add(const Bignum &Other) {
+  size_t N = std::max(Count, Other.Count);
+  reserve(N + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t Sum = Carry;
+    if (I < Count)
+      Sum += Digits[I];
+    if (I < Other.Count)
+      Sum += Other.Digits[I];
+    Digits[I] = static_cast<uint32_t>(Sum);
+    Carry = Sum >> 32;
+  }
+  Count = N;
+  if (Carry != 0) {
+    Digits[Count] = static_cast<uint32_t>(Carry);
+    ++Count;
+  }
+}
+
+void Bignum::subtract(const Bignum &Other) {
+  assert(compare(Other) >= 0 && "subtract would underflow");
+  uint64_t Borrow = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    uint64_t Take = Borrow + (I < Other.Count ? Other.Digits[I] : 0);
+    uint64_t Have = Digits[I];
+    if (Have >= Take) {
+      Digits[I] = static_cast<uint32_t>(Have - Take);
+      Borrow = 0;
+    } else {
+      Digits[I] = static_cast<uint32_t>((uint64_t(1) << 32) + Have - Take);
+      Borrow = 1;
+    }
+  }
+  assert(Borrow == 0 && "borrow out of the top digit");
+  trim();
+}
+
+void Bignum::multiplySmall(uint32_t Small) {
+  if (Count == 0)
+    return;
+  if (Small == 0) {
+    Count = 0;
+    return;
+  }
+  reserve(Count + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    uint64_t Product = static_cast<uint64_t>(Digits[I]) * Small + Carry;
+    Digits[I] = static_cast<uint32_t>(Product);
+    Carry = Product >> 32;
+  }
+  if (Carry != 0) {
+    Digits[Count] = static_cast<uint32_t>(Carry);
+    ++Count;
+  }
+}
+
+uint32_t Bignum::divideSmall(uint32_t Small) {
+  assert(Small != 0 && "division by zero");
+  uint64_t Remainder = 0;
+  for (size_t I = Count; I-- > 0;) {
+    uint64_t Current = (Remainder << 32) | Digits[I];
+    Digits[I] = static_cast<uint32_t>(Current / Small);
+    Remainder = Current % Small;
+  }
+  trim();
+  return static_cast<uint32_t>(Remainder);
+}
+
+uint64_t Bignum::low64() const {
+  uint64_t Value = Count > 0 ? Digits[0] : 0;
+  if (Count > 1)
+    Value |= static_cast<uint64_t>(Digits[1]) << 32;
+  return Value;
+}
+
+std::string Bignum::toDecimal() const {
+  if (Count == 0)
+    return "0";
+  Bignum Scratch(*this);
+  std::string Reversed;
+  while (!Scratch.isZero())
+    Reversed.push_back(
+        static_cast<char>('0' + Scratch.divideSmall(10)));
+  return std::string(Reversed.rbegin(), Reversed.rend());
+}
+
+uint64_t Bignum::digest() const {
+  uint64_t Hash = 1469598103934665603ULL;
+  for (size_t I = 0; I < Count; ++I) {
+    Hash ^= Digits[I];
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
+} // namespace diehard

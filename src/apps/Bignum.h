@@ -1,0 +1,89 @@
+//===- apps/Bignum.h - allocator-backed big integers ------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small arbitrary-precision unsigned integer whose digit storage lives
+/// in an injected Allocator. This is the substrate for the cfrac-like
+/// workload (MiniCfrac): the real cfrac's allocation intensity comes from
+/// torrents of short-lived bignum digit arrays, which is exactly what this
+/// type produces.
+///
+/// Representation: little-endian base-2^32 digits, no leading zero digit
+/// (zero is Count == 0). Operations are the ones the continued-fraction
+/// driver needs: compare, add, multiply-by-small, divide-by-small, and
+/// decimal rendering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_APPS_BIGNUM_H
+#define DIEHARD_APPS_BIGNUM_H
+
+#include "baselines/Allocator.h"
+
+#include <cstdint>
+#include <string>
+
+namespace diehard {
+
+/// Arbitrary-precision unsigned integer with allocator-backed digits.
+class Bignum {
+public:
+  /// Constructs zero. \p Heap must outlive the number.
+  explicit Bignum(Allocator &Heap);
+
+  /// Constructs from a 64-bit value.
+  Bignum(Allocator &Heap, uint64_t Value);
+
+  Bignum(const Bignum &Other);
+  Bignum(Bignum &&Other) noexcept;
+  Bignum &operator=(const Bignum &Other);
+  Bignum &operator=(Bignum &&Other) noexcept;
+  ~Bignum();
+
+  /// True if the value is zero.
+  bool isZero() const { return Count == 0; }
+
+  /// Number of base-2^32 digits.
+  size_t digitCount() const { return Count; }
+
+  /// Three-way comparison: negative, zero, or positive as *this <=> Other.
+  int compare(const Bignum &Other) const;
+
+  /// *this += Other.
+  void add(const Bignum &Other);
+
+  /// *this -= Other; requires *this >= Other.
+  void subtract(const Bignum &Other);
+
+  /// *this *= Small.
+  void multiplySmall(uint32_t Small);
+
+  /// *this /= Small; \returns the remainder. Requires Small != 0.
+  uint32_t divideSmall(uint32_t Small);
+
+  /// The low 64 bits of the value.
+  uint64_t low64() const;
+
+  /// Decimal rendering (allocates temporaries from the same heap).
+  std::string toDecimal() const;
+
+  /// FNV-style digest of the digits — allocator-independent, used by the
+  /// workload checksums.
+  uint64_t digest() const;
+
+private:
+  void reserve(size_t NeededDigits);
+  void trim();
+
+  Allocator *Heap;
+  uint32_t *Digits = nullptr;
+  size_t Count = 0;
+  size_t Capacity = 0;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_APPS_BIGNUM_H

@@ -1,0 +1,96 @@
+//===- apps/MiniCfrac.cpp -------------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniCfrac.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace diehard {
+
+namespace {
+
+/// Integer square root of a 64-bit value.
+uint64_t isqrt(uint64_t N) {
+  if (N == 0)
+    return 0;
+  auto Guess = static_cast<uint64_t>(std::sqrt(static_cast<double>(N)));
+  // Correct floating-point slop in both directions.
+  while (Guess > 0 && Guess * Guess > N)
+    --Guess;
+  while ((Guess + 1) * (Guess + 1) <= N)
+    ++Guess;
+  return Guess;
+}
+
+} // namespace
+
+std::vector<uint32_t> sqrtContinuedFraction(uint64_t N, int Count) {
+  assert(Count > 0 && "need at least one term");
+  std::vector<uint32_t> Terms;
+  Terms.reserve(static_cast<size_t>(Count));
+  uint64_t A0 = isqrt(N);
+  Terms.push_back(static_cast<uint32_t>(A0));
+  if (A0 * A0 == N) {
+    // Perfect square: the expansion is just [a0]; pad deterministically.
+    while (Terms.size() < static_cast<size_t>(Count))
+      Terms.push_back(static_cast<uint32_t>(A0));
+    return Terms;
+  }
+  // Classical recurrence: m_{k+1} = d_k a_k - m_k,
+  // d_{k+1} = (N - m^2) / d, a_{k+1} = floor((a0 + m) / d).
+  uint64_t M = 0, D = 1, A = A0;
+  while (Terms.size() < static_cast<size_t>(Count)) {
+    M = D * A - M;
+    D = (N - M * M) / D;
+    A = (A0 + M) / D;
+    Terms.push_back(static_cast<uint32_t>(A));
+  }
+  return Terms;
+}
+
+Convergent foldConvergent(Allocator &Heap,
+                          const std::vector<uint32_t> &Terms) {
+  assert(!Terms.empty() && "no terms to fold");
+  // p_{-1} = 1, p_0 = a0; q_{-1} = 0, q_0 = 1.
+  Bignum PPrev(Heap, 1), P(Heap, Terms[0]);
+  Bignum QPrev(Heap, 0), Q(Heap, 1);
+  for (size_t K = 1; K < Terms.size(); ++K) {
+    // p_k = a_k * p_{k-1} + p_{k-2} — each step churns fresh digit arrays,
+    // which is the allocation behaviour this driver exists to produce.
+    Bignum NewP(P);
+    NewP.multiplySmall(Terms[K]);
+    NewP.add(PPrev);
+    Bignum NewQ(Q);
+    NewQ.multiplySmall(Terms[K]);
+    NewQ.add(QPrev);
+    PPrev = std::move(P);
+    P = std::move(NewP);
+    QPrev = std::move(Q);
+    Q = std::move(NewQ);
+  }
+  return Convergent{std::move(P), std::move(Q)};
+}
+
+uint64_t runCfracWorkload(Allocator &Heap, int Numbers, int TermsPerNumber,
+                          uint64_t Seed) {
+  Rng Rand(Seed);
+  uint64_t Checksum = 0x9E3779B97F4A7C15ULL;
+  for (int I = 0; I < Numbers; ++I) {
+    // Non-square 48-bit composites, like CFRAC's candidates.
+    uint64_t N = (static_cast<uint64_t>(Rand.next()) << 16) ^ Rand.next();
+    N |= 3; // Avoid trivial squares and zero.
+    std::vector<uint32_t> Terms = sqrtContinuedFraction(N, TermsPerNumber);
+    Convergent C = foldConvergent(Heap, Terms);
+    Checksum = Checksum * 1099511628211ULL ^ C.P.digest();
+    Checksum = Checksum * 1099511628211ULL ^ C.Q.digest();
+  }
+  return Checksum;
+}
+
+} // namespace diehard

@@ -1,0 +1,57 @@
+//===- apps/MiniCfrac.h - continued-fraction workload -----------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A real (if miniature) application with cfrac's allocation profile: the
+/// continued-fraction machinery at the heart of the CFRAC factoring
+/// algorithm. It expands sqrt(N) as a continued fraction and accumulates
+/// the rational convergents p_k / q_k with allocator-backed bignums —
+/// torrents of small, short-lived digit arrays, exactly the behaviour that
+/// makes cfrac the most allocation-intensive program in the paper's suite.
+///
+/// Correctness is externally checkable: the convergents of [1; 1, 1, ...]
+/// are ratios of Fibonacci numbers, and convergents of sqrt(N) satisfy
+/// |p^2 - N q^2| bounded, which the tests verify.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_APPS_MINICFRAC_H
+#define DIEHARD_APPS_MINICFRAC_H
+
+#include "apps/Bignum.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace diehard {
+
+/// One convergent p/q of a continued fraction.
+struct Convergent {
+  Bignum P;
+  Bignum Q;
+};
+
+/// Computes the first \p Count partial quotients of the continued-fraction
+/// expansion of sqrt(\p N) (the classical integer-only recurrence). For a
+/// perfect square the expansion terminates; the result is padded with the
+/// terminating value repeated.
+std::vector<uint32_t> sqrtContinuedFraction(uint64_t N, int Count);
+
+/// Folds \p Terms into the final convergent p/q using the standard
+/// recurrence p_k = a_k p_{k-1} + p_{k-2} (and likewise q), with all
+/// intermediate state allocated from \p Heap.
+Convergent foldConvergent(Allocator &Heap,
+                          const std::vector<uint32_t> &Terms);
+
+/// The cfrac-like workload driver: expands sqrt of each seed-derived N,
+/// folds convergents, and mixes their digests into a checksum that any
+/// correct allocator reproduces exactly.
+uint64_t runCfracWorkload(Allocator &Heap, int Numbers, int TermsPerNumber,
+                          uint64_t Seed);
+
+} // namespace diehard
+
+#endif // DIEHARD_APPS_MINICFRAC_H

@@ -1,0 +1,187 @@
+//===- apps/MiniEspresso.cpp ----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniEspresso.h"
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+namespace diehard {
+
+Cover::Cover(Allocator &Heap, int Variables)
+    : Heap(Heap), Variables(Variables) {
+  assert(Variables >= 1 && Variables <= 32 && "1..32 variables supported");
+}
+
+Cover::~Cover() {
+  while (Head != nullptr) {
+    CubeNode *Next = Head->Next;
+    Heap.deallocate(Head);
+    Head = Next;
+  }
+}
+
+void Cover::addMinterm(uint32_t Minterm) {
+  uint64_t Bits = 0;
+  for (int V = 0; V < Variables; ++V) {
+    uint64_t Pair = (Minterm >> V) & 1 ? 0b10 : 0b01;
+    Bits |= Pair << (2 * V);
+  }
+  addCube(Bits);
+}
+
+void Cover::addCube(uint64_t Positional) {
+#ifndef NDEBUG
+  for (int V = 0; V < Variables; ++V)
+    assert(((Positional >> (2 * V)) & 0b11) != 0 &&
+           "empty literal makes the cube unsatisfiable");
+#endif
+  auto *Node = static_cast<CubeNode *>(Heap.allocate(sizeof(CubeNode)));
+  assert(Node != nullptr && "cube allocation failed");
+  Node->Bits = Positional;
+  Node->Next = Head;
+  Head = Node;
+  ++Count;
+}
+
+bool Cover::evaluate(uint32_t Minterm) const {
+  uint64_t MintermBits = 0;
+  for (int V = 0; V < Variables; ++V) {
+    uint64_t Pair = (Minterm >> V) & 1 ? 0b10 : 0b01;
+    MintermBits |= Pair << (2 * V);
+  }
+  for (const CubeNode *N = Head; N != nullptr; N = N->Next)
+    if (covers(N->Bits, MintermBits))
+      return true;
+  return false;
+}
+
+bool Cover::tryMerge(uint64_t A, uint64_t B, uint64_t &Merged) const {
+  // Merge is legal when the cubes agree on every variable but one, and on
+  // that one their literal sets are 01 and 10 (x + !x): the union is a
+  // don't-care. More generally, union-per-variable is sound when it
+  // differs from both inputs in exactly one variable position (the
+  // classic adjacency/consensus step of Quine-McCluskey).
+  if (A == B) {
+    Merged = A;
+    return true;
+  }
+  uint64_t Diff = A ^ B;
+  // Locate the single differing variable (two-bit lane).
+  int Lane = -1;
+  for (int V = 0; V < Variables; ++V) {
+    if ((Diff >> (2 * V)) & 0b11) {
+      if (Lane >= 0)
+        return false; // Differs in more than one variable.
+      Lane = V;
+    }
+  }
+  assert(Lane >= 0 && "A != B must differ somewhere");
+  uint64_t ALane = (A >> (2 * Lane)) & 0b11;
+  uint64_t BLane = (B >> (2 * Lane)) & 0b11;
+  // x + !x = don't-care; also c + dc = dc (containment handles that, but
+  // merging here is equally sound).
+  uint64_t Union = ALane | BLane;
+  if (Union != 0b11)
+    return false;
+  Merged = (A & ~(uint64_t(0b11) << (2 * Lane))) |
+           (uint64_t(0b11) << (2 * Lane));
+  return true;
+}
+
+void Cover::minimize() {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Pass 1: delete every cube covered by another cube (this subsumes
+    // duplicate removal).
+    for (CubeNode *Keep = Head; Keep != nullptr; Keep = Keep->Next) {
+      CubeNode **Link = &Head;
+      while (*Link != nullptr) {
+        CubeNode *Candidate = *Link;
+        if (Candidate != Keep && covers(Keep->Bits, Candidate->Bits)) {
+          *Link = Candidate->Next;
+          Heap.deallocate(Candidate);
+          --Count;
+          Changed = true;
+          continue;
+        }
+        Link = &Candidate->Next;
+      }
+    }
+
+    // Pass 2: merge one distance-1 pair, if any, replacing both cubes by
+    // their union. Restart the scan after a merge (the new cube can
+    // enable further merges and containments).
+    bool MergedOne = false;
+    for (CubeNode *A = Head; A != nullptr && !MergedOne; A = A->Next) {
+      for (CubeNode *B = A->Next; B != nullptr && !MergedOne; B = B->Next) {
+        uint64_t Merged;
+        if (!tryMerge(A->Bits, B->Bits, Merged))
+          continue;
+        // Remove A and B, insert the merged cube.
+        CubeNode **Link = &Head;
+        while (*Link != nullptr) {
+          if (*Link == A || *Link == B) {
+            CubeNode *Dead = *Link;
+            *Link = Dead->Next;
+            Heap.deallocate(Dead);
+            --Count;
+          } else {
+            Link = &(*Link)->Next;
+          }
+        }
+        addCube(Merged);
+        MergedOne = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+uint64_t Cover::digest() const {
+  // Order-independent: combine per-cube hashes commutatively.
+  uint64_t Sum = 0, Xor = 0;
+  for (const CubeNode *N = Head; N != nullptr; N = N->Next) {
+    uint64_t H = N->Bits * 0x9E3779B97F4A7C15ULL;
+    H ^= H >> 29;
+    Sum += H;
+    Xor ^= H;
+  }
+  return Sum ^ (Xor * 1099511628211ULL) ^ Count;
+}
+
+uint64_t runEspressoWorkload(Allocator &Heap, int Functions, int Variables,
+                             int MintermsPerFunction, uint64_t Seed) {
+  assert(Variables >= 1 && Variables <= 16 &&
+         "exhaustive verification needs small domains");
+  Rng Rand(Seed);
+  uint64_t Checksum = 0xE59E550;
+  uint32_t Domain = uint32_t(1) << Variables;
+  for (int F = 0; F < Functions; ++F) {
+    Cover C(Heap, Variables);
+    std::vector<bool> OnSet(Domain, false);
+    for (int M = 0; M < MintermsPerFunction; ++M) {
+      uint32_t Minterm = Rand.nextBounded(Domain);
+      OnSet[Minterm] = true;
+      C.addMinterm(Minterm);
+    }
+    C.minimize();
+    // Verify function preservation exhaustively on a sample of functions.
+    if (F % 10 == 0) {
+      for (uint32_t M = 0; M < Domain; ++M)
+        if (C.evaluate(M) != OnSet[M])
+          return 0; // Corruption sentinel: minimization changed f.
+    }
+    Checksum = Checksum * 1099511628211ULL ^ C.digest();
+    Checksum ^= C.cubeCount();
+  }
+  return Checksum;
+}
+
+} // namespace diehard

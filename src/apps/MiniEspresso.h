@@ -1,0 +1,93 @@
+//===- apps/MiniEspresso.h - cube-list logic minimizer ----------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature two-level logic minimizer with espresso's data-structure
+/// profile: boolean covers as linked lists of heap-allocated cubes, with
+/// heavy list surgery (duplicate removal, containment deletion, merging of
+/// distance-1 cube pairs) — the bursty small-object churn that makes
+/// espresso a staple of memory-management studies and the paper's
+/// fault-injection target (Section 7.3.1).
+///
+/// Encoding: positional cube notation. Each variable takes two bits,
+/// (can-be-0, can-be-1): 01 = positive literal, 10 = negated literal,
+/// 11 = don't care. A cube covers a minterm if the minterm's bits are a
+/// subset of the cube's bits per variable. Up to 32 variables per cube
+/// (one uint64_t).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_APPS_MINIESPRESSO_H
+#define DIEHARD_APPS_MINIESPRESSO_H
+
+#include "baselines/Allocator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace diehard {
+
+/// A boolean cover: a set of cubes over a fixed variable count, with every
+/// cube node allocated from the injected allocator.
+class Cover {
+public:
+  /// Creates an empty cover over \p Variables variables (1..32).
+  Cover(Allocator &Heap, int Variables);
+  Cover(const Cover &) = delete;
+  Cover &operator=(const Cover &) = delete;
+  ~Cover();
+
+  /// Adds the single-minterm cube for \p Minterm (bit i = value of x_i).
+  void addMinterm(uint32_t Minterm);
+
+  /// Adds a raw positional cube. Each variable's two bits must not be 00.
+  void addCube(uint64_t Positional);
+
+  /// True if some cube covers \p Minterm.
+  bool evaluate(uint32_t Minterm) const;
+
+  /// Minimizes in place: deletes duplicate and contained cubes, and
+  /// repeatedly merges distance-1 pairs, until a fixed point. The cover's
+  /// boolean function is preserved exactly.
+  void minimize();
+
+  /// Number of cubes currently in the cover.
+  size_t cubeCount() const { return Count; }
+
+  /// Order-independent digest of the cube set (for allocator-independence
+  /// checks).
+  uint64_t digest() const;
+
+  int variables() const { return Variables; }
+
+private:
+  struct CubeNode {
+    uint64_t Bits;
+    CubeNode *Next;
+  };
+
+  /// True if \p A covers \p B (B's bits are a subset per variable).
+  static bool covers(uint64_t A, uint64_t B) { return (B & ~A) == 0; }
+
+  /// If \p A and \p B merge into one cube (identical except one variable,
+  /// whose literals are complementary), writes the merge and returns true.
+  bool tryMerge(uint64_t A, uint64_t B, uint64_t &Merged) const;
+
+  Allocator &Heap;
+  int Variables;
+  CubeNode *Head = nullptr;
+  size_t Count = 0;
+};
+
+/// The espresso-like workload: builds random ON-sets, minimizes them, and
+/// folds cube-set digests into a checksum; verifies function preservation
+/// on every tenth function. Deterministic given \p Seed.
+uint64_t runEspressoWorkload(Allocator &Heap, int Functions, int Variables,
+                             int MintermsPerFunction, uint64_t Seed);
+
+} // namespace diehard
+
+#endif // DIEHARD_APPS_MINIESPRESSO_H

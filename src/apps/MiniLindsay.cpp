@@ -1,0 +1,89 @@
+//===- apps/MiniLindsay.cpp -----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniLindsay.h"
+
+#include "support/Rng.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+namespace {
+
+/// Per-hop message header, allocated from the injected heap. In buggy
+/// mode, Priority is never initialized before being read.
+struct MessageHop {
+  uint32_t Source;
+  uint32_t Destination;
+  uint32_t CurrentNode;
+  uint32_t Priority; ///< The uninitialized-read victim in buggy mode.
+  uint32_t PayloadWords;
+  uint32_t Payload[]; // Trailing payload.
+};
+
+} // namespace
+
+LindsayResult runLindsay(Allocator &Heap, const LindsayConfig &Config) {
+  assert(Config.Dimensions >= 1 && Config.Dimensions <= 20 &&
+         "unreasonable hypercube dimension");
+  LindsayResult Result;
+  Rng Rand(Config.Seed);
+  uint32_t Nodes = uint32_t(1) << Config.Dimensions;
+
+  for (int M = 0; M < Config.Messages; ++M) {
+    uint32_t Source = Rand.nextBounded(Nodes);
+    uint32_t Destination = Rand.nextBounded(Nodes);
+    uint32_t PayloadWords = 1 + Rand.nextBounded(15);
+
+    uint32_t Node = Source;
+    uint64_t PathDigest = 0;
+    // Dimension-order routing: correct one bit per hop, allocating a fresh
+    // hop record each time (lindsay's per-hop churn).
+    int Guard = Config.Dimensions + 1;
+    while (true) {
+      auto *Hop = static_cast<MessageHop *>(Heap.allocate(
+          sizeof(MessageHop) + PayloadWords * sizeof(uint32_t)));
+      if (Hop == nullptr)
+        return Result; // Out of memory: deliver what we have.
+      Hop->Source = Source;
+      Hop->Destination = Destination;
+      Hop->CurrentNode = Node;
+      Hop->PayloadWords = PayloadWords;
+      for (uint32_t W = 0; W < PayloadWords; ++W)
+        Hop->Payload[W] = (Source << 16) ^ Destination ^ W;
+      if (!Config.BuggyUninitRead)
+        Hop->Priority = Hop->CurrentNode & 7;
+      // else: Priority is read below without ever being written — the
+      // uninitialized read the paper caught in lindsay.
+
+      PathDigest = PathDigest * 31 + Hop->CurrentNode;
+      PathDigest ^= Hop->Priority; // Garbage in buggy mode.
+      for (uint32_t W = 0; W < PayloadWords; ++W)
+        PathDigest = PathDigest * 131 + Hop->Payload[W];
+
+      uint32_t Differ = Node ^ Destination;
+      Heap.deallocate(Hop);
+      ++Result.TotalHops;
+      if (Differ == 0)
+        break;
+      // Flip the lowest differing dimension.
+      Node ^= uint32_t(1) << std::countr_zero(Differ);
+      if (--Guard < 0) {
+        assert(false && "routing failed to converge");
+        break;
+      }
+    }
+    ++Result.MessagesDelivered;
+    Result.RoutingSummary =
+        Result.RoutingSummary * 1099511628211ULL ^ PathDigest;
+  }
+  return Result;
+}
+
+} // namespace diehard

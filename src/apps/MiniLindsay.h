@@ -1,0 +1,52 @@
+//===- apps/MiniLindsay.h - hypercube simulator workload --------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature hypercube message simulator with lindsay's profile — and
+/// lindsay's bug. The paper notes that lindsay "has an uninitialized read
+/// error that DieHard detects and terminates" (Section 7.2.3): its
+/// replicated runs disagree because a value read from uninitialized heap
+/// memory reaches the output.
+///
+/// The simulator routes messages between the 2^d nodes of a hypercube
+/// along dimension-order paths, allocating a fresh header+payload per hop
+/// (lindsay's allocation churn). In Buggy mode, one header field
+/// (`Priority`) is read before ever being written — the uninitialized
+/// read — and folded into the routing summary. Stand-alone, the program
+/// silently computes garbage; under replication, the voter catches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_APPS_MINILINDSAY_H
+#define DIEHARD_APPS_MINILINDSAY_H
+
+#include "baselines/Allocator.h"
+
+#include <cstdint>
+
+namespace diehard {
+
+/// Configuration for a simulation run.
+struct LindsayConfig {
+  int Dimensions = 6;     ///< Hypercube dimension d (2^d nodes).
+  int Messages = 2000;    ///< Messages injected.
+  uint64_t Seed = 0x11D;  ///< Source/destination selection.
+  bool BuggyUninitRead = false; ///< Enable lindsay's famous bug.
+};
+
+/// Result of a simulation.
+struct LindsayResult {
+  uint64_t RoutingSummary = 0; ///< Deterministic unless the bug fires.
+  uint64_t TotalHops = 0;
+  uint64_t MessagesDelivered = 0;
+};
+
+/// Runs the simulator with every message buffer drawn from \p Heap.
+LindsayResult runLindsay(Allocator &Heap, const LindsayConfig &Config);
+
+} // namespace diehard
+
+#endif // DIEHARD_APPS_MINILINDSAY_H

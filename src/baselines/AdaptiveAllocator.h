@@ -1,0 +1,41 @@
+//===- baselines/AdaptiveAllocator.h - facade over AdaptiveHeap -*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapter presenting the adaptive (dynamically growing) DieHard heap
+/// through the uniform Allocator interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BASELINES_ADAPTIVEALLOCATOR_H
+#define DIEHARD_BASELINES_ADAPTIVEALLOCATOR_H
+
+#include "baselines/Allocator.h"
+#include "core/AdaptiveHeap.h"
+
+namespace diehard {
+
+/// Allocator-interface adapter over an AdaptiveDieHardHeap instance.
+class AdaptiveAllocator final : public Allocator {
+public:
+  explicit AdaptiveAllocator(
+      const AdaptiveOptions &Options = AdaptiveOptions())
+      : Heap(Options) {}
+
+  void *allocate(size_t Size) override { return Heap.allocate(Size); }
+  void deallocate(void *Ptr) override { Heap.deallocate(Ptr); }
+  const char *getName() const override { return "diehard-adaptive"; }
+
+  AdaptiveDieHardHeap &heap() { return Heap; }
+  const AdaptiveDieHardHeap &heap() const { return Heap; }
+
+private:
+  AdaptiveDieHardHeap Heap;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_BASELINES_ADAPTIVEALLOCATOR_H

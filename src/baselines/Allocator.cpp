@@ -1,0 +1,41 @@
+//===- baselines/Allocator.cpp --------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Allocator.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace diehard {
+
+Allocator::~Allocator() = default;
+
+void Allocator::registerRootRange(void *, size_t) {}
+void Allocator::unregisterRootRange(void *) {}
+void Allocator::collect() {}
+void Allocator::anchor() {}
+
+void *SystemAllocator::allocate(size_t Size) { return std::malloc(Size); }
+void SystemAllocator::deallocate(void *Ptr) { std::free(Ptr); }
+
+void *SlowSystemAllocator::allocate(size_t Size) {
+  // Simulate the lock-and-search cost profile of a slow system allocator.
+  unsigned Acc = static_cast<unsigned>(Size);
+  for (int I = 0; I < WorkFactor; ++I)
+    Acc = Acc * 1664525u + 1013904223u;
+  Sink = Acc;
+  return std::malloc(Size);
+}
+
+void SlowSystemAllocator::deallocate(void *Ptr) {
+  unsigned Acc = static_cast<unsigned>(reinterpret_cast<uintptr_t>(Ptr));
+  for (int I = 0; I < WorkFactor; ++I)
+    Acc = Acc * 1664525u + 1013904223u;
+  Sink = Acc;
+  std::free(Ptr);
+}
+
+} // namespace diehard

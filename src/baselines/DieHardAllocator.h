@@ -1,0 +1,42 @@
+//===- baselines/DieHardAllocator.h - facade over DieHardHeap ---*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapter presenting a DieHardHeap through the uniform Allocator interface
+/// so the workload and fault-injection harnesses can drive it alongside the
+/// baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BASELINES_DIEHARDALLOCATOR_H
+#define DIEHARD_BASELINES_DIEHARDALLOCATOR_H
+
+#include "baselines/Allocator.h"
+#include "core/DieHardHeap.h"
+
+namespace diehard {
+
+/// Allocator-interface adapter over a DieHardHeap instance.
+class DieHardAllocator final : public Allocator {
+public:
+  explicit DieHardAllocator(const DieHardOptions &Options = DieHardOptions())
+      : Heap(Options) {}
+
+  void *allocate(size_t Size) override { return Heap.allocate(Size); }
+  void deallocate(void *Ptr) override { Heap.deallocate(Ptr); }
+  const char *getName() const override { return "diehard"; }
+
+  /// Direct access to the underlying heap (stats, checked libc, ...).
+  DieHardHeap &heap() { return Heap; }
+  const DieHardHeap &heap() const { return Heap; }
+
+private:
+  DieHardHeap Heap;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_BASELINES_DIEHARDALLOCATOR_H

@@ -1,0 +1,104 @@
+//===- baselines/GcAllocator.h - conservative mark-sweep GC -----*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conservative mark-sweep collector standing in for the Boehm-Demers-
+/// Weiser collector in the paper's comparison (Sections 7.2 and 8). It
+/// captures the properties the paper relies on:
+///
+///  * free is a no-op, so invalid frees, double frees, and dangling pointer
+///    errors cannot corrupt the heap;
+///  * anything reachable from registered root ranges (conservatively
+///    scanned, interior pointers included) survives collection;
+///  * memory cost is several times malloc/free because unreachable garbage
+///    is only reclaimed at collection points.
+///
+/// Roots are registered explicitly (the workload drivers register their
+/// object tables); stack scanning is intentionally out of scope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BASELINES_GCALLOCATOR_H
+#define DIEHARD_BASELINES_GCALLOCATOR_H
+
+#include "baselines/Allocator.h"
+#include "support/MmapRegion.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace diehard {
+
+/// Conservative mark-sweep allocator over registered root ranges.
+class GcAllocator final : public Allocator {
+public:
+  /// Creates a collector with an arena of \p ArenaBytes; a collection is
+  /// triggered whenever \p CollectThreshold bytes have been allocated since
+  /// the previous collection.
+  explicit GcAllocator(size_t ArenaBytes = size_t(512) * 1024 * 1024,
+                       size_t CollectThreshold = 8 * 1024 * 1024);
+
+  void *allocate(size_t Size) override;
+  /// Deliberate no-op: collectors ignore explicit frees.
+  void deallocate(void *Ptr) override;
+  const char *getName() const override { return "bdw-gc-sim"; }
+
+  void registerRootRange(void *Base, size_t Len) override;
+  void unregisterRootRange(void *Base) override;
+
+  /// Runs a full mark-sweep collection now.
+  void collect() override;
+
+  /// Live (marked-reachable at last collect, plus newly allocated) objects.
+  size_t liveObjects() const { return Blocks.size(); }
+
+  /// Bytes held by the heap (live + uncollected garbage).
+  size_t heapBytes() const { return HeapBytes; }
+
+  /// Number of collections run so far.
+  size_t collections() const { return Collections; }
+
+private:
+  struct Block {
+    size_t Size;  ///< User size in bytes.
+    bool Marked;
+  };
+
+  static constexpr size_t Alignment = 16;
+
+  /// Finds the block containing \p Candidate (interior pointers allowed);
+  /// returns Blocks.end() if it points nowhere inside a live block.
+  std::map<uintptr_t, Block>::iterator findBlock(uintptr_t Candidate);
+
+  /// Conservatively scans [\p Base, \p Base + \p Len) for heap pointers and
+  /// pushes newly marked blocks onto the work list.
+  void scanRange(const char *Base, size_t Len,
+                 std::vector<uintptr_t> &WorkList);
+
+  void *takeFromFreeList(size_t Need);
+
+  MmapRegion Arena;
+  char *Bump = nullptr;
+  char *ArenaEnd = nullptr;
+
+  /// Live blocks keyed by start address.
+  std::map<uintptr_t, Block> Blocks;
+  /// Free blocks recovered by sweep, bucketed by exact size.
+  std::map<size_t, std::vector<uintptr_t>> FreeLists;
+  /// Registered conservative root ranges keyed by base address.
+  std::map<void *, size_t> Roots;
+
+  size_t HeapBytes = 0;
+  size_t AllocatedSinceGc = 0;
+  size_t CollectThreshold;
+  size_t Collections = 0;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_BASELINES_GCALLOCATOR_H

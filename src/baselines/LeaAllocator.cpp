@@ -1,0 +1,216 @@
+//===- baselines/LeaAllocator.cpp -----------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/LeaAllocator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+LeaAllocator::LeaAllocator(size_t ArenaBytes) {
+  if (!Arena.map(ArenaBytes))
+    return;
+  // Start carving at base + 8 so chunk headers sit at 8 mod 16 and user
+  // pointers (header + 8) are 16-byte aligned, as in dlmalloc.
+  WildernessTop = static_cast<char *>(Arena.base()) + HeaderSize;
+  ArenaEnd = static_cast<char *>(Arena.base()) + Arena.size();
+}
+
+size_t LeaAllocator::chunkSizeFor(size_t Request) {
+  size_t Need = (Request + HeaderSize + Alignment - 1) & ~(Alignment - 1);
+  return Need < MinChunkSize ? MinChunkSize : Need;
+}
+
+int LeaAllocator::binIndex(size_t ChunkSize) const {
+  assert(ChunkSize >= MinChunkSize && ChunkSize % Alignment == 0 &&
+         "malformed chunk size");
+  size_t Index = (ChunkSize - MinChunkSize) / Alignment;
+  return Index < NumSmallBins ? static_cast<int>(Index) : -1;
+}
+
+void LeaAllocator::writeFooter(Chunk *C) {
+  // The footer is a copy of the size at the end of a free chunk; the next
+  // chunk's free path reads it to find where this chunk starts.
+  auto *Footer = reinterpret_cast<size_t *>(
+      reinterpret_cast<char *>(C) + C->size() - sizeof(size_t));
+  *Footer = C->size();
+}
+
+void LeaAllocator::setPrevInUse(Chunk *C, bool InUse) {
+  if (InUse)
+    C->SizeAndFlags |= Chunk::PrevInUseFlag;
+  else
+    C->SizeAndFlags &= ~Chunk::PrevInUseFlag;
+}
+
+void LeaAllocator::pushBin(Chunk *C) {
+  int Bin = binIndex(C->size());
+  Chunk *&Head = Bin >= 0 ? Bins[Bin] : LargeBin;
+  C->Next = Head;
+  C->Prev = nullptr;
+  if (Head != nullptr)
+    Head->Prev = C;
+  Head = C;
+}
+
+void LeaAllocator::unlinkBin(Chunk *C) {
+  int Bin = binIndex(C->size());
+  Chunk *&Head = Bin >= 0 ? Bins[Bin] : LargeBin;
+  if (C->Prev != nullptr)
+    C->Prev->Next = C->Next;
+  else
+    Head = C->Next;
+  if (C->Next != nullptr)
+    C->Next->Prev = C->Prev;
+}
+
+void LeaAllocator::splitChunk(Chunk *C, size_t Need) {
+  size_t Rest = C->size() - Need;
+  if (Rest < MinChunkSize)
+    return; // Too small to split; the caller keeps the slack.
+  C->SizeAndFlags = Need | (C->SizeAndFlags & Chunk::FlagMask);
+  auto *Remainder = reinterpret_cast<Chunk *>(
+      reinterpret_cast<char *>(C) + Need);
+  // The remainder's predecessor (C) is about to be in use.
+  Remainder->SizeAndFlags = Rest | Chunk::PrevInUseFlag;
+  writeFooter(Remainder);
+  pushBin(Remainder);
+  if (LastInMemory == C)
+    LastInMemory = Remainder;
+}
+
+LeaAllocator::Chunk *LeaAllocator::takeFromBins(size_t Need) {
+  int Bin = binIndex(Need);
+  if (Bin >= 0) {
+    for (int I = Bin; I < NumSmallBins; ++I) {
+      if (Bins[I] == nullptr)
+        continue;
+      Chunk *C = Bins[I];
+      unlinkBin(C);
+      return C;
+    }
+  }
+  // First fit in the large bin.
+  for (Chunk *C = LargeBin; C != nullptr; C = C->Next) {
+    if (C->size() >= Need) {
+      unlinkBin(C);
+      return C;
+    }
+  }
+  return nullptr;
+}
+
+LeaAllocator::Chunk *LeaAllocator::extendWilderness(size_t Need) {
+  if (WildernessTop == nullptr || WildernessTop + Need > ArenaEnd)
+    return nullptr;
+  auto *C = reinterpret_cast<Chunk *>(WildernessTop);
+  bool PrevInUse = LastInMemory == nullptr || LastInMemory->isInUse();
+  C->SizeAndFlags = Need | (PrevInUse ? Chunk::PrevInUseFlag : 0);
+  WildernessTop += Need;
+  LastInMemory = C;
+  return C;
+}
+
+void *LeaAllocator::allocate(size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  size_t Need = chunkSizeFor(Size);
+
+  Chunk *C = takeFromBins(Need);
+  if (C != nullptr) {
+    splitChunk(C, Need);
+  } else {
+    C = extendWilderness(Need);
+    if (C == nullptr)
+      return nullptr;
+  }
+
+  C->SizeAndFlags |= Chunk::InUseFlag;
+  auto *After = nextInMemory(C);
+  if (reinterpret_cast<char *>(After) < WildernessTop)
+    setPrevInUse(After, true);
+  InUseBytes += C->size();
+  return userOf(C);
+}
+
+void LeaAllocator::deallocate(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  // Faithfully unvalidated: the header is trusted completely. A corrupted
+  // header or a double free corrupts the freelists, just like the classic
+  // allocators the paper contrasts DieHard with.
+  Chunk *C = chunkOf(Ptr);
+  InUseBytes -= C->size();
+  C->SizeAndFlags &= ~Chunk::InUseFlag;
+
+  // Coalesce with the previous chunk in memory if it is free.
+  if (!C->isPrevInUse()) {
+    size_t PrevSize =
+        *reinterpret_cast<size_t *>(reinterpret_cast<char *>(C) -
+                                    sizeof(size_t));
+    auto *Prev = reinterpret_cast<Chunk *>(
+        reinterpret_cast<char *>(C) - PrevSize);
+    unlinkBin(Prev);
+    Prev->SizeAndFlags =
+        (Prev->size() + C->size()) | (Prev->SizeAndFlags & Chunk::FlagMask &
+                                      ~Chunk::InUseFlag);
+    if (LastInMemory == C)
+      LastInMemory = Prev;
+    C = Prev;
+  }
+
+  // Coalesce with the next chunk in memory if it is free.
+  auto *Next = nextInMemory(C);
+  if (reinterpret_cast<char *>(Next) < WildernessTop && !Next->isInUse()) {
+    unlinkBin(Next);
+    if (LastInMemory == Next)
+      LastInMemory = C;
+    C->SizeAndFlags += Next->size();
+  }
+
+  // Publish the free chunk: footer for backward coalescing, clear the
+  // successor's prev-in-use bit, and push onto the matching freelist.
+  writeFooter(C);
+  auto *After = nextInMemory(C);
+  if (reinterpret_cast<char *>(After) < WildernessTop)
+    setPrevInUse(After, false);
+  pushBin(C);
+}
+
+size_t LeaAllocator::getChunkSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  const Chunk *C = chunkOf(const_cast<void *>(Ptr));
+  return C->size() - HeaderSize;
+}
+
+bool LeaAllocator::checkHeapIntegrity() const {
+  if (Arena.base() == nullptr)
+    return true;
+  const char *Cursor = static_cast<const char *>(Arena.base()) + HeaderSize;
+  bool PrevWasInUse = true;
+  while (Cursor < WildernessTop) {
+    const auto *C = reinterpret_cast<const Chunk *>(Cursor);
+    size_t Size = C->size();
+    if (Size < MinChunkSize || Size % Alignment != 0 ||
+        Cursor + Size > WildernessTop)
+      return false;
+    if (C->isPrevInUse() != PrevWasInUse)
+      return false;
+    if (!C->isInUse()) {
+      const auto *Footer = reinterpret_cast<const size_t *>(
+          Cursor + Size - sizeof(size_t));
+      if (*Footer != Size)
+        return false;
+    }
+    PrevWasInUse = C->isInUse();
+    Cursor += Size;
+  }
+  return Cursor == WildernessTop;
+}
+
+} // namespace diehard

@@ -1,0 +1,120 @@
+//===- baselines/LeaAllocator.h - boundary-tag freelist malloc --*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch Lea-style allocator standing in for the GNU libc malloc the
+/// paper compares against. It uses the classic design whose failure modes
+/// DieHard is built to avoid (Sections 4.1 and 8):
+///
+///  * an 8-byte header ("boundary tag") lives immediately before every
+///    object, so a one-byte overflow can corrupt heap metadata;
+///  * free chunks carry intrusive next/prev freelist links inside the user
+///    area, so writes through dangling pointers corrupt the freelist;
+///  * free performs no validation, so double and invalid frees corrupt the
+///    heap (typically crashing later, sometimes much later).
+///
+/// Under correct usage it is a competent segregated-fit allocator with
+/// coalescing, which is what the performance comparison needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BASELINES_LEAALLOCATOR_H
+#define DIEHARD_BASELINES_LEAALLOCATOR_H
+
+#include "baselines/Allocator.h"
+#include "support/MmapRegion.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace diehard {
+
+/// Boundary-tag, segregated-fit allocator with coalescing (dlmalloc-style).
+class LeaAllocator final : public Allocator {
+public:
+  /// Creates an allocator with an arena of \p ArenaBytes.
+  explicit LeaAllocator(size_t ArenaBytes = size_t(512) * 1024 * 1024);
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *getName() const override { return "lea-malloc"; }
+
+  /// Usable size of the chunk holding \p Ptr (from its header; garbage if
+  /// the header was corrupted — exactly like the real thing).
+  size_t getChunkSize(const void *Ptr) const;
+
+  /// Returns true if \p Ptr lies inside the arena.
+  bool isInArena(const void *Ptr) const { return Arena.contains(Ptr); }
+
+  /// Walks every boundary tag from the bottom of the arena and verifies the
+  /// chain is self-consistent. \returns false if metadata is corrupted.
+  /// (Diagnostic only; the allocator itself never checks, faithfully.)
+  bool checkHeapIntegrity() const;
+
+  /// Total bytes handed out and not yet freed (by header bookkeeping).
+  size_t bytesInUse() const { return InUseBytes; }
+
+private:
+  // Chunk layout (all sizes multiples of 16):
+  //   [ Header (8 bytes: size | flags) ][ user data ... ]
+  // Free chunks instead hold:
+  //   [ Header ][ Next ][ Prev ][ ... ][ Footer (copy of size) ]
+  // Flag bit 0: this chunk is in use. Flag bit 1: previous chunk in memory
+  // is in use (so free never reads the footer of an in-use neighbour).
+  struct Chunk {
+    size_t SizeAndFlags;
+    Chunk *Next; ///< Valid only while free.
+    Chunk *Prev; ///< Valid only while free.
+
+    static constexpr size_t InUseFlag = 1;
+    static constexpr size_t PrevInUseFlag = 2;
+    static constexpr size_t FlagMask = InUseFlag | PrevInUseFlag;
+
+    size_t size() const { return SizeAndFlags & ~FlagMask; }
+    bool isInUse() const { return SizeAndFlags & InUseFlag; }
+    bool isPrevInUse() const { return SizeAndFlags & PrevInUseFlag; }
+  };
+
+  static constexpr size_t HeaderSize = sizeof(size_t);
+  static constexpr size_t Alignment = 16;
+  static constexpr size_t MinChunkSize = 48; // header+links+footer, aligned.
+  static constexpr int NumSmallBins = 64;    // 48, 64, ..., 16-byte spaced.
+  static constexpr size_t SmallBinLimit = MinChunkSize +
+                                          (NumSmallBins - 1) * Alignment;
+
+  static size_t chunkSizeFor(size_t Request);
+  static Chunk *chunkOf(void *Ptr) {
+    return reinterpret_cast<Chunk *>(static_cast<char *>(Ptr) - HeaderSize);
+  }
+  static void *userOf(Chunk *C) {
+    return reinterpret_cast<char *>(C) + HeaderSize;
+  }
+
+  Chunk *nextInMemory(Chunk *C) const {
+    return reinterpret_cast<Chunk *>(reinterpret_cast<char *>(C) + C->size());
+  }
+
+  int binIndex(size_t ChunkSize) const;
+  void pushBin(Chunk *C);
+  void unlinkBin(Chunk *C);
+  void writeFooter(Chunk *C);
+  void setPrevInUse(Chunk *C, bool InUse);
+  Chunk *takeFromBins(size_t Need);
+  Chunk *extendWilderness(size_t Need);
+  void splitChunk(Chunk *C, size_t Need);
+
+  MmapRegion Arena;
+  char *WildernessTop = nullptr; ///< First never-carved byte of the arena.
+  char *ArenaEnd = nullptr;
+  Chunk *Bins[NumSmallBins] = {};
+  Chunk *LargeBin = nullptr;
+  Chunk *LastInMemory = nullptr; ///< Highest-addressed carved chunk.
+  size_t InUseBytes = 0;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_BASELINES_LEAALLOCATOR_H

@@ -1,0 +1,88 @@
+//===- baselines/SelectiveAllocator.h - per-class protection ----*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's other space-reduction direction (Section 9): "selectively
+/// applying the technique to particular size classes". This allocator
+/// routes chosen size classes through a randomized DieHard heap and the
+/// remaining classes through the compact Lea-style allocator, trading
+/// protection for memory on a per-class basis — e.g. protect only the
+/// small classes where dangling-pointer masking is strongest (Theorem 2)
+/// while large, rarely-corrupted classes stay cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_BASELINES_SELECTIVEALLOCATOR_H
+#define DIEHARD_BASELINES_SELECTIVEALLOCATOR_H
+
+#include "baselines/Allocator.h"
+#include "baselines/LeaAllocator.h"
+#include "core/DieHardHeap.h"
+
+#include <cstdint>
+
+namespace diehard {
+
+/// Hybrid allocator: DieHard for the size classes selected in a 12-bit
+/// mask, the Lea baseline for everything else (including large objects if
+/// bit-free... large objects always go to DieHard's guarded mmap path).
+class SelectiveAllocator final : public Allocator {
+public:
+  /// \p ClassMask selects protected classes: bit c covers objects of size
+  /// class c (8 << c bytes). ~0 protects everything (= plain DieHard);
+  /// 0x3F protects the six classes up to 256 bytes.
+  SelectiveAllocator(uint32_t ClassMask,
+                     const DieHardOptions &Options = DieHardOptions(),
+                     size_t FallbackArenaBytes = size_t(512) << 20)
+      : Mask(ClassMask), Protected(Options),
+        Fallback(FallbackArenaBytes) {}
+
+  void *allocate(size_t Size) override {
+    if (!SizeClass::isSmall(Size))
+      return Protected.allocate(Size); // Guarded mmap path.
+    int C = SizeClass::sizeToClass(Size);
+    if (Mask & (uint32_t(1) << C))
+      return Protected.allocate(Size);
+    return Fallback.allocate(Size);
+  }
+
+  void deallocate(void *Ptr) override {
+    if (Ptr == nullptr)
+      return;
+    // Membership decides the owner; DieHard validates its own frees, and
+    // anything inside the fallback arena belongs to the Lea allocator.
+    if (Protected.isInHeap(Ptr) || Protected.getObjectSize(Ptr) != 0) {
+      Protected.deallocate(Ptr);
+      return;
+    }
+    if (Fallback.isInArena(Ptr))
+      Fallback.deallocate(Ptr);
+    // Foreign pointers are ignored (DieHard semantics win overall).
+  }
+
+  const char *getName() const override { return "diehard-selective"; }
+
+  /// The protected randomized heap.
+  DieHardHeap &heap() { return Protected; }
+
+  /// The unprotected fallback allocator.
+  LeaAllocator &fallback() { return Fallback; }
+
+  /// True if objects of \p Size go to the randomized heap.
+  bool isProtected(size_t Size) const {
+    return !SizeClass::isSmall(Size) ||
+           (Mask & (uint32_t(1) << SizeClass::sizeToClass(Size)));
+  }
+
+private:
+  uint32_t Mask;
+  DieHardHeap Protected;
+  LeaAllocator Fallback;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_BASELINES_SELECTIVEALLOCATOR_H

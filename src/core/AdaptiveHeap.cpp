@@ -1,0 +1,198 @@
+//===- core/AdaptiveHeap.cpp ----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdaptiveHeap.h"
+
+#include "support/RealRandomSource.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+AdaptiveDieHardHeap::AdaptiveDieHardHeap(const AdaptiveOptions &Options)
+    : Opts(Options) {
+  assert(Opts.M > 1.0 && "expansion factor M must exceed 1");
+  assert(Opts.InitialSlotsPerClass >= 2 && "need at least two slots");
+  ResolvedSeed = Opts.Seed != 0 ? Opts.Seed : realRandomSeed();
+  Rand.setSeed(ResolvedSeed);
+}
+
+bool AdaptiveDieHardHeap::grow(int Class) {
+  ClassState &State = Classes[Class];
+  // First growth installs InitialSlotsPerClass slots; each later growth
+  // doubles the class capacity, so the per-growth cost amortizes to O(1)
+  // per allocation and the number of sub-regions stays logarithmic.
+  size_t NewSlots =
+      State.TotalSlots == 0 ? Opts.InitialSlotsPerClass : State.TotalSlots;
+  size_t Bytes = NewSlots * SizeClass::classToSize(Class);
+
+  SubRegion Fresh;
+  if (!Fresh.Memory.map(Bytes))
+    return false;
+  Fresh.Slots = NewSlots;
+  Fresh.SlotBase = State.TotalSlots;
+  Reserved += Bytes;
+
+  State.Regions.push_back(std::move(Fresh));
+  State.TotalSlots += NewSlots;
+
+  // Extend the bitmap, preserving existing allocation bits.
+  Bitmap Extended(State.TotalSlots);
+  for (size_t I = 0; I < State.Allocated.size(); ++I)
+    if (State.Allocated.test(I))
+      Extended.trySet(I);
+  State.Allocated = std::move(Extended);
+  ++Stats.Growths;
+  return true;
+}
+
+char *AdaptiveDieHardHeap::slotAddress(const ClassState &State, int Class,
+                                       size_t Slot) const {
+  for (const SubRegion &R : State.Regions) {
+    if (Slot < R.SlotBase + R.Slots) {
+      return static_cast<char *>(R.Memory.base()) +
+             (Slot - R.SlotBase) * SizeClass::classToSize(Class);
+    }
+  }
+  assert(false && "slot index beyond class capacity");
+  return nullptr;
+}
+
+void AdaptiveDieHardHeap::randomFill(void *Ptr, size_t Bytes) {
+  auto *Words = static_cast<uint32_t *>(Ptr);
+  for (size_t I = 0; I < Bytes / sizeof(uint32_t); ++I)
+    Words[I] = Rand.next();
+}
+
+void *AdaptiveDieHardHeap::allocate(size_t Size) {
+  if (Size == 0)
+    return nullptr;
+  if (Size > SizeClass::MaxObjectSize) {
+    void *Ptr = LargeObjects.allocate(Size);
+    if (Ptr != nullptr)
+      ++Stats.LargeAllocations;
+    return Ptr;
+  }
+
+  int C = SizeClass::sizeToClass(Size);
+  ClassState &State = Classes[C];
+
+  // Grow whenever the next allocation would break the 1/M bound; this is
+  // the adaptive replacement for the fixed heap's allocation refusal.
+  while (static_cast<double>(State.InUse + 1) >
+         static_cast<double>(State.TotalSlots) / Opts.M) {
+    if (!grow(C))
+      return nullptr; // Genuinely out of memory.
+  }
+
+  size_t Slots = State.TotalSlots;
+  size_t Index = 0;
+  bool Found = false;
+  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+    ++Stats.Probes;
+    Index = Rand.nextBounded(static_cast<uint32_t>(Slots));
+    if (State.Allocated.trySet(Index)) {
+      Found = true;
+      break;
+    }
+  }
+  if (!Found) {
+    size_t Start = Rand.nextBounded(static_cast<uint32_t>(Slots));
+    Index = State.Allocated.findNextClear(Start);
+    if (Index == Slots)
+      Index = State.Allocated.findNextClear(0);
+    if (Index == Slots)
+      return nullptr; // Unreachable given the 1/M bound.
+    State.Allocated.trySet(Index);
+  }
+
+  ++State.InUse;
+  ++Stats.Allocations;
+  char *Ptr = slotAddress(State, C, Index);
+  if (Opts.RandomFillObjects)
+    randomFill(Ptr, SizeClass::classToSize(C));
+  return Ptr;
+}
+
+bool AdaptiveDieHardHeap::locate(const void *Ptr, bool AllowInterior,
+                                 int &Class, size_t &Slot,
+                                 char *&Start) const {
+  for (int C = 0; C < SizeClass::NumClasses; ++C) {
+    size_t ObjectSize = SizeClass::classToSize(C);
+    for (const SubRegion &R : Classes[C].Regions) {
+      if (!R.Memory.contains(Ptr))
+        continue;
+      size_t Offset = static_cast<const char *>(Ptr) -
+                      static_cast<const char *>(R.Memory.base());
+      if (!AllowInterior && Offset % ObjectSize != 0)
+        return false;
+      Class = C;
+      Slot = R.SlotBase + Offset / ObjectSize;
+      Start = static_cast<char *>(R.Memory.base()) +
+              (Offset / ObjectSize) * ObjectSize;
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdaptiveDieHardHeap::deallocate(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  int C;
+  size_t Slot;
+  char *Start;
+  if (!locate(Ptr, /*AllowInterior=*/false, C, Slot, Start)) {
+    if (LargeObjects.deallocate(Ptr)) {
+      ++Stats.LargeFrees;
+      return;
+    }
+    ++Stats.IgnoredFrees;
+    return;
+  }
+  if (Start != Ptr || !Classes[C].Allocated.tryClear(Slot)) {
+    ++Stats.IgnoredFrees;
+    return;
+  }
+  assert(Classes[C].InUse > 0 && "bitmap and counter out of sync");
+  --Classes[C].InUse;
+  ++Stats.Frees;
+}
+
+size_t AdaptiveDieHardHeap::getObjectSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  int C;
+  size_t Slot;
+  char *Start;
+  if (!locate(Ptr, /*AllowInterior=*/true, C, Slot, Start))
+    return LargeObjects.getSize(Ptr);
+  return Classes[C].Allocated.test(Slot) ? SizeClass::classToSize(C) : 0;
+}
+
+void *AdaptiveDieHardHeap::getObjectStart(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return nullptr;
+  int C;
+  size_t Slot;
+  char *Start;
+  if (!locate(Ptr, /*AllowInterior=*/true, C, Slot, Start))
+    return LargeObjects.contains(Ptr) ? const_cast<void *>(Ptr) : nullptr;
+  return Classes[C].Allocated.test(Slot) ? Start : nullptr;
+}
+
+size_t AdaptiveDieHardHeap::capacityOfClass(int Class) const {
+  assert(Class >= 0 && Class < SizeClass::NumClasses);
+  return Classes[Class].TotalSlots;
+}
+
+size_t AdaptiveDieHardHeap::liveInClass(int Class) const {
+  assert(Class >= 0 && Class < SizeClass::NumClasses);
+  return Classes[Class].InUse;
+}
+
+} // namespace diehard

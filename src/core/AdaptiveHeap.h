@@ -1,0 +1,145 @@
+//===- core/AdaptiveHeap.h - dynamically growing DieHard heap ---*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive variant the paper sketches as future work (Section 9): "an
+/// adaptive version of DieHard that grows memory regions dynamically as
+/// objects are allocated", removing the need to size the heap for the
+/// maximum it will ever reach.
+///
+/// Each size class starts with a small sub-region and, whenever the class
+/// reaches its 1/M fill bound, adds a new sub-region that doubles the
+/// class's capacity. The DieHard invariant — live objects never exceed 1/M
+/// of the class's slots, placement uniform over all slots — is maintained
+/// at every moment, so the Section 6 analyses apply with F computed from
+/// the *current* capacity. Growth keeps the expected probe count bounded by
+/// 1/(1 - 1/M) exactly as in the fixed heap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_ADAPTIVEHEAP_H
+#define DIEHARD_CORE_ADAPTIVEHEAP_H
+
+#include "core/LargeObjectManager.h"
+#include "core/SizeClass.h"
+#include "support/Bitmap.h"
+#include "support/MmapRegion.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace diehard {
+
+/// Configuration for an AdaptiveDieHardHeap.
+struct AdaptiveOptions {
+  /// Slots in the first sub-region of every class. Capacity doubles on
+  /// each growth, so even a tiny start reaches any demand in O(log n)
+  /// growth steps.
+  size_t InitialSlotsPerClass = 64;
+
+  /// The heap expansion factor M (same meaning as DieHardOptions::M).
+  double M = 2.0;
+
+  /// RNG seed; 0 selects a truly random seed.
+  uint64_t Seed = 0;
+
+  /// Replicated mode: fill allocated objects with random data.
+  bool RandomFillObjects = false;
+};
+
+/// Counters for the adaptive heap.
+struct AdaptiveStats {
+  uint64_t Allocations = 0;
+  uint64_t Frees = 0;
+  uint64_t IgnoredFrees = 0;
+  uint64_t Probes = 0;
+  uint64_t Growths = 0;          ///< Sub-regions added across all classes.
+  uint64_t LargeAllocations = 0;
+  uint64_t LargeFrees = 0;
+};
+
+/// DieHard with on-demand region growth instead of a fixed reservation.
+///
+/// Same correctness contract as DieHardHeap: allocation failure returns
+/// nullptr, invalid and double frees are ignored, metadata lives far from
+/// the heap. Not thread-safe by itself.
+class AdaptiveDieHardHeap {
+public:
+  explicit AdaptiveDieHardHeap(
+      const AdaptiveOptions &Options = AdaptiveOptions());
+
+  AdaptiveDieHardHeap(const AdaptiveDieHardHeap &) = delete;
+  AdaptiveDieHardHeap &operator=(const AdaptiveDieHardHeap &) = delete;
+
+  /// Random-placement allocation; grows the class when it hits its 1/M
+  /// bound. \returns nullptr only when the system is out of memory.
+  void *allocate(size_t Size);
+
+  /// Validated free; invalid or double frees are ignored.
+  void deallocate(void *Ptr);
+
+  /// Usable (rounded) size of the live object containing \p Ptr, or 0.
+  size_t getObjectSize(const void *Ptr) const;
+
+  /// Start of the live small object containing \p Ptr, or nullptr.
+  void *getObjectStart(const void *Ptr) const;
+
+  /// Current slot capacity of \p Class across all its sub-regions.
+  size_t capacityOfClass(int Class) const;
+
+  /// Live objects in \p Class.
+  size_t liveInClass(int Class) const;
+
+  /// Bytes of address space currently reserved (all sub-regions).
+  size_t reservedBytes() const { return Reserved; }
+
+  const AdaptiveOptions &options() const { return Opts; }
+  const AdaptiveStats &stats() const { return Stats; }
+  uint64_t seed() const { return ResolvedSeed; }
+
+private:
+  struct SubRegion {
+    MmapRegion Memory;
+    size_t Slots = 0;
+    size_t SlotBase = 0; ///< Global slot index of this sub-region's slot 0.
+  };
+
+  struct ClassState {
+    std::vector<SubRegion> Regions;
+    Bitmap Allocated; ///< One bit per slot, globally indexed.
+    size_t TotalSlots = 0;
+    size_t InUse = 0;
+  };
+
+  /// Adds a sub-region to \p Class, doubling its capacity (the first call
+  /// installs the initial region). \returns false on mmap failure.
+  bool grow(int Class);
+
+  /// Maps a global slot index of \p Class to its address.
+  char *slotAddress(const ClassState &State, int Class, size_t Slot) const;
+
+  /// Finds (class, global slot, slot start) for \p Ptr; returns false if
+  /// the pointer is in no sub-region or misaligned within its slot unless
+  /// \p AllowInterior.
+  bool locate(const void *Ptr, bool AllowInterior, int &Class, size_t &Slot,
+              char *&Start) const;
+
+  void randomFill(void *Ptr, size_t Bytes);
+
+  AdaptiveOptions Opts;
+  uint64_t ResolvedSeed = 0;
+  Rng Rand;
+  ClassState Classes[SizeClass::NumClasses];
+  LargeObjectManager LargeObjects;
+  size_t Reserved = 0;
+  AdaptiveStats Stats;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_ADAPTIVEHEAP_H

@@ -1,0 +1,85 @@
+//===- core/CheckedLibc.cpp -----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CheckedLibc.h"
+
+#include "core/DieHardHeap.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace diehard {
+
+size_t CheckedLibc::availableSpace(const void *Dst) const {
+  // Two comparisons decide heap membership; then the object start is
+  // recovered from the power-of-two layout and the distance to the end of
+  // the object is the writable space (Section 4.4).
+  void *Start = Heap.getObjectStart(Dst);
+  if (Start == nullptr)
+    return SIZE_MAX;
+  size_t Size = Heap.getObjectSize(Start);
+  size_t Used = static_cast<const char *>(Dst) - static_cast<char *>(Start);
+  return Size - Used;
+}
+
+char *CheckedLibc::strcpy(char *Dst, const char *Src) const {
+  size_t Space = availableSpace(Dst);
+  if (Space == SIZE_MAX)
+    return std::strcpy(Dst, Src);
+  if (Space == 0)
+    return Dst;
+  size_t Len = std::strlen(Src);
+  size_t Copy = Len < Space - 1 ? Len : Space - 1;
+  std::memcpy(Dst, Src, Copy);
+  Dst[Copy] = '\0';
+  return Dst;
+}
+
+char *CheckedLibc::strncpy(char *Dst, const char *Src, size_t Count) const {
+  size_t Space = availableSpace(Dst);
+  // The programmer-supplied bound is not trusted: the actual space in the
+  // destination object caps it.
+  size_t Bound = Space == SIZE_MAX ? Count : (Count < Space ? Count : Space);
+  size_t I = 0;
+  for (; I < Bound && Src[I] != '\0'; ++I)
+    Dst[I] = Src[I];
+  for (; I < Bound; ++I)
+    Dst[I] = '\0';
+  return Dst;
+}
+
+char *CheckedLibc::strcat(char *Dst, const char *Src) const {
+  size_t Space = availableSpace(Dst);
+  if (Space == SIZE_MAX)
+    return std::strcat(Dst, Src);
+  size_t DstLen = ::strnlen(Dst, Space);
+  if (DstLen >= Space)
+    return Dst; // Unterminated destination: nothing safe to do.
+  size_t Avail = Space - DstLen;
+  if (Avail <= 1) {
+    Dst[DstLen] = '\0';
+    return Dst;
+  }
+  size_t Len = std::strlen(Src);
+  size_t Copy = Len < Avail - 1 ? Len : Avail - 1;
+  std::memcpy(Dst + DstLen, Src, Copy);
+  Dst[DstLen + Copy] = '\0';
+  return Dst;
+}
+
+void *CheckedLibc::memcpy(void *Dst, const void *Src, size_t Count) const {
+  size_t Space = availableSpace(Dst);
+  size_t Copy = Space == SIZE_MAX ? Count : (Count < Space ? Count : Space);
+  return std::memcpy(Dst, Src, Copy);
+}
+
+void *CheckedLibc::memset(void *Dst, int Value, size_t Count) const {
+  size_t Space = availableSpace(Dst);
+  size_t Fill = Space == SIZE_MAX ? Count : (Count < Space ? Count : Space);
+  return std::memset(Dst, Value, Fill);
+}
+
+} // namespace diehard

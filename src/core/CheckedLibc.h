@@ -1,0 +1,64 @@
+//===- core/CheckedLibc.h - overflow-clamped string functions ---*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replacements for unsafe C library functions (Section 4.4). DieHard's
+/// power-of-two heap layout makes it cheap to recover the bounds of any heap
+/// object from an interior pointer, so strcpy and friends can clamp the
+/// number of bytes written to the space remaining in the destination object.
+/// The paper also replaces the "safe" strncpy, because programmers routinely
+/// pass a wrong length; the actual available space is used as the bound.
+///
+/// Destinations outside the DieHard heap (stack, globals, foreign heaps) are
+/// passed through to the ordinary semantics unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_CHECKEDLIBC_H
+#define DIEHARD_CORE_CHECKEDLIBC_H
+
+#include <cstddef>
+
+namespace diehard {
+
+class DieHardHeap;
+
+/// Checked libc functions bound to one heap instance.
+class CheckedLibc {
+public:
+  /// Binds the checked functions to \p Heap, which must outlive this object.
+  explicit CheckedLibc(const DieHardHeap &Heap) : Heap(Heap) {}
+
+  /// strcpy that never writes past the end of a heap destination object.
+  /// \returns \p Dst. The copy is truncated (and still NUL-terminated when
+  /// any byte fits) if \p Src is too long.
+  char *strcpy(char *Dst, const char *Src) const;
+
+  /// strncpy with the effective bound min(\p Count, space left in \p Dst).
+  char *strncpy(char *Dst, const char *Src, size_t Count) const;
+
+  /// strcat clamped to the destination object's remaining space.
+  char *strcat(char *Dst, const char *Src) const;
+
+  /// memcpy clamped to the destination object's remaining space.
+  /// \returns \p Dst.
+  void *memcpy(void *Dst, const void *Src, size_t Count) const;
+
+  /// memset clamped to the destination object's remaining space.
+  void *memset(void *Dst, int Value, size_t Count) const;
+
+  /// sprintf-style bounded copy helper: returns the number of bytes
+  /// (excluding the NUL) that may be written starting at \p Dst, or
+  /// SIZE_MAX if \p Dst is not a heap object (caller's bound applies).
+  size_t availableSpace(const void *Dst) const;
+
+private:
+  const DieHardHeap &Heap;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_CHECKEDLIBC_H

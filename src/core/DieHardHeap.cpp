@@ -1,0 +1,268 @@
+//===- core/DieHardHeap.cpp -----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DieHardHeap.h"
+
+#include "support/RealRandomSource.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+DieHardHeap::DieHardHeap(const DieHardOptions &Options) : Opts(Options) {
+  assert(Opts.M > 1.0 && "expansion factor M must exceed 1");
+  ResolvedSeed = Opts.Seed != 0 ? Opts.Seed : realRandomSeed();
+  Rand.setSeed(ResolvedSeed);
+
+  // Divide the reservation evenly into one partition per size class, keeping
+  // each partition a multiple of the largest object size so every slot of
+  // every class is naturally aligned within its partition.
+  PartitionSize = Opts.HeapSize / SizeClass::NumClasses;
+  PartitionSize -= PartitionSize % SizeClass::MaxObjectSize;
+  if (PartitionSize == 0)
+    return; // Heap too small to be usable; isValid() stays false.
+
+  if (!Heap.map(PartitionSize * SizeClass::NumClasses))
+    return;
+
+  for (int C = 0; C < SizeClass::NumClasses; ++C) {
+    size_t Slots = PartitionSize / SizeClass::classToSize(C);
+    IsAllocated[C].reset(Slots);
+    InUse[C] = 0;
+    // Each region is allowed to become at most 1/M full (Section 4.1).
+    Threshold[C] = static_cast<size_t>(static_cast<double>(Slots) / Opts.M);
+  }
+
+  // REPLICATED (Figure 2): fill the whole heap with random values.
+  if (Opts.RandomFillHeapOnInit)
+    randomFill(Heap.base(), Heap.size());
+}
+
+DieHardHeap::~DieHardHeap() = default;
+
+size_t DieHardHeap::liveInClass(int Class) const {
+  assert(Class >= 0 && Class < SizeClass::NumClasses);
+  return InUse[Class];
+}
+
+size_t DieHardHeap::slotsInClass(int Class) const {
+  assert(Class >= 0 && Class < SizeClass::NumClasses);
+  return IsAllocated[Class].size();
+}
+
+size_t DieHardHeap::thresholdForClass(int Class) const {
+  assert(Class >= 0 && Class < SizeClass::NumClasses);
+  return Threshold[Class];
+}
+
+void DieHardHeap::randomFill(void *Ptr, size_t Size) {
+  // Fill in 32-bit units, as in Figure 2 of the paper. Sizes here are always
+  // multiples of 8, so no tail handling is needed.
+  auto *Words = static_cast<uint32_t *>(Ptr);
+  for (size_t I = 0; I < Size / sizeof(uint32_t); ++I)
+    Words[I] = Rand.next();
+}
+
+void *DieHardHeap::allocate(size_t Size) {
+  if (!isValid() || Size == 0)
+    return nullptr;
+
+  if (Size > SizeClass::MaxObjectSize) {
+    void *Ptr = LargeObjects.allocate(Size);
+    if (Ptr == nullptr) {
+      ++Stats.FailedAllocations;
+      return nullptr;
+    }
+    ++Stats.LargeAllocations;
+    LiveBytes += Size;
+    if (Opts.RandomFillObjects)
+      randomFill(Ptr, Size & ~size_t(3));
+    return Ptr;
+  }
+
+  int C = SizeClass::sizeToClass(Size);
+  if (InUse[C] >= Threshold[C]) {
+    // At threshold: the 1/M bound says no more memory for this class.
+    ++Stats.FailedAllocations;
+    return nullptr;
+  }
+
+  size_t ObjectSize = SizeClass::classToSize(C);
+  size_t Slots = IsAllocated[C].size();
+
+  // Probe for a free slot, like probing into a hash table. Since the region
+  // is at most 1/M full, the expected probe count is 1/(1 - 1/M); a bounded
+  // number of random probes followed by a linear fallback guarantees
+  // termination without measurably biasing placement.
+  size_t Index = 0;
+  bool Found = false;
+  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+    ++Stats.Probes;
+    Index = Rand.nextBounded(static_cast<uint32_t>(Slots));
+    if (IsAllocated[C].trySet(Index)) {
+      Found = true;
+      break;
+    }
+  }
+  if (!Found) {
+    ++Stats.ProbeFallbacks;
+    size_t Start = Rand.nextBounded(static_cast<uint32_t>(Slots));
+    Index = IsAllocated[C].findNextClear(Start);
+    if (Index == Slots)
+      Index = IsAllocated[C].findNextClear(0);
+    if (Index == Slots) {
+      // Every slot is taken; the 1/M threshold should make this unreachable.
+      ++Stats.FailedAllocations;
+      return nullptr;
+    }
+    IsAllocated[C].trySet(Index);
+  }
+
+  ++InUse[C];
+  ++Stats.Allocations;
+  LiveBytes += ObjectSize;
+
+  char *Ptr = static_cast<char *>(Heap.base()) +
+              static_cast<size_t>(C) * PartitionSize + Index * ObjectSize;
+  if (Opts.RandomFillObjects)
+    randomFill(Ptr, ObjectSize);
+  return Ptr;
+}
+
+int DieHardHeap::partitionOf(const void *Ptr) const {
+  if (!Heap.contains(Ptr))
+    return -1;
+  size_t Offset = static_cast<const char *>(Ptr) -
+                  static_cast<const char *>(Heap.base());
+  return static_cast<int>(Offset / PartitionSize);
+}
+
+void DieHardHeap::deallocate(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+
+  // Addresses outside the heap area may be large objects; the large-object
+  // table validates them (Section 4.3).
+  if (!Heap.contains(Ptr)) {
+    size_t Size = LargeObjects.getSize(Ptr);
+    if (Size != 0 && LargeObjects.deallocate(Ptr)) {
+      ++Stats.LargeFrees;
+      LiveBytes -= Size;
+      return;
+    }
+    ++Stats.IgnoredFrees;
+    return;
+  }
+
+  int C = partitionOf(Ptr);
+  assert(C >= 0 && C < SizeClass::NumClasses && "contains implies partition");
+  size_t ObjectSize = SizeClass::classToSize(C);
+  size_t Offset = static_cast<const char *>(Ptr) -
+                  (static_cast<const char *>(Heap.base()) +
+                   static_cast<size_t>(C) * PartitionSize);
+
+  // Validity check 1: the offset must be an exact multiple of the object
+  // size. Validity check 2: the slot must currently be allocated. Anything
+  // else is an invalid or double free and is ignored.
+  if (Offset % ObjectSize != 0) {
+    ++Stats.IgnoredFrees;
+    return;
+  }
+  size_t Index = Offset / ObjectSize;
+  if (!IsAllocated[C].tryClear(Index)) {
+    ++Stats.IgnoredFrees;
+    return;
+  }
+  assert(InUse[C] > 0 && "bitmap and counter out of sync");
+  --InUse[C];
+  ++Stats.Frees;
+  LiveBytes -= ObjectSize;
+  if (Opts.RandomFillOnFree)
+    randomFill(Ptr, ObjectSize);
+}
+
+void *DieHardHeap::reallocate(void *Ptr, size_t NewSize) {
+  if (Ptr == nullptr)
+    return allocate(NewSize);
+  if (NewSize == 0) {
+    deallocate(Ptr);
+    return nullptr;
+  }
+  size_t OldSize = getObjectSize(Ptr);
+  if (OldSize == 0)
+    return nullptr; // Not one of ours; refuse rather than corrupt.
+  // Small objects can grow in place up to their rounded class size.
+  if (Heap.contains(Ptr) && NewSize <= OldSize &&
+      NewSize > OldSize / 2)
+    return Ptr;
+  void *Fresh = allocate(NewSize);
+  if (Fresh == nullptr)
+    return nullptr;
+  std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+void *DieHardHeap::allocateZeroed(size_t Count, size_t Size) {
+  if (Count != 0 && Size > SIZE_MAX / Count)
+    return nullptr;
+  size_t Total = Count * Size;
+  void *Ptr = allocate(Total);
+  if (Ptr != nullptr)
+    std::memset(Ptr, 0, Total);
+  return Ptr;
+}
+
+size_t DieHardHeap::getObjectSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  if (!Heap.contains(Ptr))
+    return LargeObjects.getSize(Ptr);
+  int C = partitionOf(Ptr);
+  size_t ObjectSize = SizeClass::classToSize(C);
+  size_t Offset = static_cast<const char *>(Ptr) -
+                  (static_cast<const char *>(Heap.base()) +
+                   static_cast<size_t>(C) * PartitionSize);
+  size_t Index = Offset / ObjectSize;
+  if (Index >= IsAllocated[C].size() || !IsAllocated[C].test(Index))
+    return 0;
+  return ObjectSize;
+}
+
+void DieHardHeap::forEachLiveObject(
+    const std::function<void(int Class, size_t Slot, const void *Ptr,
+                             size_t Size)> &Visit) const {
+  for (int C = 0; C < SizeClass::NumClasses; ++C) {
+    size_t ObjectSize = SizeClass::classToSize(C);
+    const char *PartitionStart = static_cast<const char *>(Heap.base()) +
+                                 static_cast<size_t>(C) * PartitionSize;
+    const Bitmap &Bits = IsAllocated[C];
+    for (size_t Slot = 0; Slot < Bits.size(); ++Slot)
+      if (Bits.test(Slot))
+        Visit(C, Slot, PartitionStart + Slot * ObjectSize, ObjectSize);
+  }
+}
+
+void *DieHardHeap::getObjectStart(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return nullptr;
+  if (!Heap.contains(Ptr)) {
+    // Large objects are only matched by their base address.
+    return LargeObjects.contains(Ptr) ? const_cast<void *>(Ptr) : nullptr;
+  }
+  int C = partitionOf(Ptr);
+  size_t ObjectSize = SizeClass::classToSize(C);
+  char *PartitionStart = static_cast<char *>(Heap.base()) +
+                         static_cast<size_t>(C) * PartitionSize;
+  size_t Offset = static_cast<const char *>(Ptr) - PartitionStart;
+  size_t Index = Offset / ObjectSize;
+  if (Index >= IsAllocated[C].size() || !IsAllocated[C].test(Index))
+    return nullptr;
+  return PartitionStart + Index * ObjectSize;
+}
+
+} // namespace diehard

@@ -1,0 +1,184 @@
+//===- core/DieHardHeap.h - the randomized DieHard heap ---------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The randomized memory manager at the heart of DieHard (Section 4). The
+/// heap is logically partitioned into twelve power-of-two size-class regions
+/// (8 B .. 16 KB). Objects are placed uniformly at random within their
+/// region, each region may become at most 1/M full, all metadata (one bit
+/// per object) lives far from the heap, and free validates every address it
+/// is given. Larger objects go to the mmap-backed LargeObjectManager.
+///
+/// This M-approximation of an infinite heap is what provides probabilistic
+/// memory safety: overflows probably land on free space, and prematurely
+/// freed objects are probably not reused for a long time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_DIEHARDHEAP_H
+#define DIEHARD_CORE_DIEHARDHEAP_H
+
+#include "core/LargeObjectManager.h"
+#include "core/SizeClass.h"
+#include "support/Bitmap.h"
+#include "support/MmapRegion.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace diehard {
+
+/// Configuration for a DieHardHeap.
+struct DieHardOptions {
+  /// Total bytes reserved across all twelve size-class partitions. Reserved
+  /// pages are committed lazily, so a large default is cheap. The paper's
+  /// experiments use 384 MB.
+  size_t HeapSize = 384 * 1024 * 1024;
+
+  /// The heap expansion factor M: each partition may become at most 1/M
+  /// full. M = 2 means the heap is twice the maximum live size.
+  double M = 2.0;
+
+  /// RNG seed. Zero selects a truly random seed (from /dev/urandom), which
+  /// is what the replicated framework wants; tests pass a fixed seed.
+  uint64_t Seed = 0;
+
+  /// Replicated mode: fill each allocated object with random values so that
+  /// uninitialized reads return different data in every replica
+  /// (Section 3.2). Stand-alone mode leaves objects untouched.
+  bool RandomFillObjects = false;
+
+  /// Replicated mode: additionally fill freed objects with fresh random
+  /// values, so reads through dangling pointers also diverge across
+  /// replicas.
+  bool RandomFillOnFree = false;
+
+  /// Replicated mode, Figure 2's initialization: fill the *entire* heap
+  /// with random values up front, so reads beyond object bounds also
+  /// return replica-divergent data. Commits every page of the
+  /// reservation, so it trades the lazy-initialization space saving for
+  /// maximal detection (the paper enables it only in replicated mode).
+  bool RandomFillHeapOnInit = false;
+};
+
+/// Running counters describing heap behaviour; used by tests, benches, and
+/// the experiment harness.
+struct DieHardStats {
+  uint64_t Allocations = 0;       ///< Successful small allocations.
+  uint64_t Frees = 0;             ///< Successful small frees.
+  uint64_t LargeAllocations = 0;  ///< Successful large allocations.
+  uint64_t LargeFrees = 0;        ///< Successful large frees.
+  uint64_t FailedAllocations = 0; ///< Requests refused (partition full).
+  uint64_t IgnoredFrees = 0;      ///< Invalid/double frees ignored.
+  uint64_t Probes = 0;            ///< Bitmap probes across all allocations.
+  uint64_t ProbeFallbacks = 0;    ///< Times the linear fallback scan ran.
+};
+
+/// The randomized DieHard memory manager.
+///
+/// Not thread-safe by itself; concurrent users (e.g. the malloc
+/// interposition shim) must wrap calls in a lock. The heap never throws and
+/// never aborts on bad input: allocation failure returns nullptr and invalid
+/// frees are silently ignored, exactly as the paper specifies.
+class DieHardHeap {
+public:
+  /// Creates a heap per \p Options. On mmap failure the heap is unusable and
+  /// every allocation returns nullptr (isValid() reports false).
+  explicit DieHardHeap(const DieHardOptions &Options = DieHardOptions());
+
+  DieHardHeap(const DieHardHeap &) = delete;
+  DieHardHeap &operator=(const DieHardHeap &) = delete;
+  ~DieHardHeap();
+
+  /// Returns true if the backing reservation succeeded.
+  bool isValid() const { return Heap.base() != nullptr; }
+
+  /// DieHardMalloc (Figure 2): random-probe allocation for small sizes,
+  /// mmap with guard pages for large ones. \returns nullptr when the size
+  /// class is at its 1/M threshold or the request cannot be satisfied.
+  void *allocate(size_t Size);
+
+  /// DieHardFree (Figure 2): frees \p Ptr if and only if it is a currently
+  /// live object at a correct slot offset; otherwise the request is ignored.
+  void deallocate(void *Ptr);
+
+  /// C realloc semantics on top of allocate/deallocate.
+  void *reallocate(void *Ptr, size_t NewSize);
+
+  /// Zero-initialized allocation (C calloc semantics, overflow-checked).
+  void *allocateZeroed(size_t Count, size_t Size);
+
+  /// Returns the usable size of the object containing \p Ptr: the rounded
+  /// size-class size for small objects (for any interior pointer of a live
+  /// object), the requested size for large objects, and 0 if \p Ptr is not a
+  /// live heap object. This is the query the checked libc functions
+  /// (Section 4.4) use to clamp writes.
+  size_t getObjectSize(const void *Ptr) const;
+
+  /// Returns the start of the live object containing \p Ptr (interior
+  /// pointers allowed), or nullptr if \p Ptr is not inside a live small
+  /// object. Large objects are matched only by their exact base address.
+  void *getObjectStart(const void *Ptr) const;
+
+  /// Returns true if \p Ptr lies anywhere inside the small-object heap
+  /// reservation (live or not).
+  bool isInHeap(const void *Ptr) const { return Heap.contains(Ptr); }
+
+  /// Number of live small objects in size class \p Class.
+  size_t liveInClass(int Class) const;
+
+  /// Slot capacity of size class \p Class (before applying the 1/M bound).
+  size_t slotsInClass(int Class) const;
+
+  /// Maximum live objects allowed in \p Class (the 1/M threshold).
+  size_t thresholdForClass(int Class) const;
+
+  /// Bytes currently live (rounded sizes; includes large objects).
+  size_t bytesLive() const { return LiveBytes; }
+
+  /// The heap options this instance was built with.
+  const DieHardOptions &options() const { return Opts; }
+
+  /// Behaviour counters.
+  const DieHardStats &stats() const { return Stats; }
+
+  /// The seed actually used (after resolving Seed == 0 to a random one).
+  uint64_t seed() const { return ResolvedSeed; }
+
+  /// Visits every live small object as (size class, slot index, pointer,
+  /// rounded size). Iteration order is deterministic (class-major, slot
+  /// ascending), which the heap-differencing debugger relies on.
+  void forEachLiveObject(
+      const std::function<void(int Class, size_t Slot, const void *Ptr,
+                               size_t Size)> &Visit) const;
+
+private:
+  /// Returns the partition index (= size class) containing \p Ptr, or -1.
+  int partitionOf(const void *Ptr) const;
+
+  /// Fills \p Size bytes at \p Ptr with values from the heap RNG.
+  void randomFill(void *Ptr, size_t Size);
+
+  DieHardOptions Opts;
+  uint64_t ResolvedSeed = 0;
+  Rng Rand;
+  MmapRegion Heap;
+  size_t PartitionSize = 0; ///< Bytes per size-class partition.
+
+  Bitmap IsAllocated[SizeClass::NumClasses]; ///< One bit per slot.
+  size_t InUse[SizeClass::NumClasses] = {};  ///< Live objects per class.
+  size_t Threshold[SizeClass::NumClasses] = {}; ///< 1/M caps per class.
+
+  LargeObjectManager LargeObjects;
+  size_t LiveBytes = 0;
+  DieHardStats Stats;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_DIEHARDHEAP_H

@@ -1,0 +1,54 @@
+//===- core/LargeObjectManager.cpp ----------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LargeObjectManager.h"
+
+#include "support/MmapRegion.h"
+
+#include <sys/mman.h>
+
+namespace diehard {
+
+LargeObjectManager::~LargeObjectManager() {
+  for (auto &[Ptr, E] : Table)
+    ::munmap(E.MapBase, E.MapSize);
+}
+
+void *LargeObjectManager::allocate(size_t Size) {
+  if (Size == 0)
+    return nullptr;
+  size_t Page = MmapRegion::pageSize();
+  size_t Body = (Size + Page - 1) / Page * Page;
+  // One guard page before and one after the object body.
+  size_t Total = Body + 2 * Page;
+  void *Base = ::mmap(nullptr, Total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (Base == MAP_FAILED)
+    return nullptr;
+  char *User = static_cast<char *>(Base) + Page;
+  // Revoke all access on the guard pages so that any overflow off either end
+  // of the object faults immediately instead of silently corrupting memory.
+  ::mprotect(Base, Page, PROT_NONE);
+  ::mprotect(User + Body, Page, PROT_NONE);
+  Table.emplace(User, Entry{Base, Total, Size});
+  return User;
+}
+
+bool LargeObjectManager::deallocate(void *Ptr) {
+  auto It = Table.find(Ptr);
+  if (It == Table.end())
+    return false; // Unknown or already-freed address: ignore, per the paper.
+  ::munmap(It->second.MapBase, It->second.MapSize);
+  Table.erase(It);
+  return true;
+}
+
+size_t LargeObjectManager::getSize(const void *Ptr) const {
+  auto It = Table.find(Ptr);
+  return It == Table.end() ? 0 : It->second.UserSize;
+}
+
+} // namespace diehard

@@ -1,0 +1,74 @@
+//===- core/SizeClass.h - power-of-two size classes -------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The twelve power-of-two size classes of the DieHard heap, 8 bytes through
+/// 16 kilobytes (Section 4.1). Requests are rounded up to the nearest power
+/// of two; using powers of two lets division and modulus be bit operations,
+/// which the paper calls out as significantly speeding allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_SIZECLASS_H
+#define DIEHARD_CORE_SIZECLASS_H
+
+#include <bit>
+#include <cassert>
+#include <cstddef>
+
+namespace diehard {
+
+/// Size-class geometry shared by the heap, the analysis module, and the
+/// fault-injection harness.
+struct SizeClass {
+  /// Number of size classes: 8, 16, ..., 16384 bytes.
+  static constexpr int NumClasses = 12;
+
+  /// Smallest object size in bytes (class 0).
+  static constexpr size_t MinObjectSize = 8;
+
+  /// Largest object handled by the randomized heap; anything bigger goes to
+  /// the large-object manager (mmap with guard pages).
+  static constexpr size_t MaxObjectSize = 16 * 1024;
+
+  /// Returns the object size of class \p Class.
+  static constexpr size_t classToSize(int Class) {
+    assert(Class >= 0 && Class < NumClasses && "size class out of range");
+    return MinObjectSize << Class;
+  }
+
+  /// Returns the class whose object size is the smallest power of two that
+  /// can hold \p Size bytes. \p Size must be in (0, MaxObjectSize].
+  static constexpr int sizeToClass(size_t Size) {
+    assert(Size > 0 && Size <= MaxObjectSize && "size out of class range");
+    if (Size <= MinObjectSize)
+      return 0;
+    // ceil(log2(Size)) - log2(MinObjectSize).
+    return std::bit_width(Size - 1) - 3;
+  }
+
+  /// Rounds \p Size up to its class's object size.
+  static constexpr size_t roundUp(size_t Size) {
+    return classToSize(sizeToClass(Size));
+  }
+
+  /// Returns true if \p Size is served by the randomized small-object heap.
+  static constexpr bool isSmall(size_t Size) {
+    return Size > 0 && Size <= MaxObjectSize;
+  }
+};
+
+static_assert(SizeClass::classToSize(0) == 8, "class 0 must be 8 bytes");
+static_assert(SizeClass::classToSize(11) == 16384,
+              "class 11 must be 16 KB");
+static_assert(SizeClass::sizeToClass(8) == 0, "8 bytes maps to class 0");
+static_assert(SizeClass::sizeToClass(9) == 1, "9 bytes maps to class 1");
+static_assert(SizeClass::sizeToClass(16384) == 11,
+              "16 KB maps to class 11");
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_SIZECLASS_H

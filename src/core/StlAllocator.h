@@ -1,0 +1,81 @@
+//===- core/StlAllocator.h - std-compatible allocator adapter ---*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A C++ standard-library allocator backed by a DieHardHeap, so containers
+/// can opt into probabilistic memory safety per-object without global
+/// interposition:
+///
+/// \code
+///   DieHardHeap Heap(Options);
+///   std::vector<int, StlAllocator<int>> V{StlAllocator<int>(Heap)};
+/// \endcode
+///
+/// Container nodes land at uniformly random heap locations; iterator
+/// invalidation bugs and container-node overflows inherit DieHard's
+/// masking probabilities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_STLALLOCATOR_H
+#define DIEHARD_CORE_STLALLOCATOR_H
+
+#include "core/DieHardHeap.h"
+
+#include <cstddef>
+#include <new>
+
+namespace diehard {
+
+/// std::allocator-compatible adapter over a DieHardHeap.
+///
+/// Copies of the adapter share the same heap; two adapters compare equal
+/// iff they use the same heap instance (so memory allocated through one
+/// can be released through the other, as the standard requires).
+template <typename T> class StlAllocator {
+public:
+  using value_type = T;
+  using size_type = size_t;
+  using difference_type = ptrdiff_t;
+
+  /// Binds the adapter to \p Heap, which must outlive every container
+  /// using it.
+  explicit StlAllocator(DieHardHeap &Heap) noexcept : Heap(&Heap) {}
+
+  template <typename U>
+  StlAllocator(const StlAllocator<U> &Other) noexcept : Heap(Other.heap()) {}
+
+  T *allocate(size_type Count) {
+    if (Count > SIZE_MAX / sizeof(T))
+      throw std::bad_alloc();
+    void *Ptr = Heap->allocate(Count * sizeof(T));
+    if (Ptr == nullptr)
+      throw std::bad_alloc();
+    return static_cast<T *>(Ptr);
+  }
+
+  void deallocate(T *Ptr, size_type) noexcept { Heap->deallocate(Ptr); }
+
+  /// The underlying heap (used by the converting constructor).
+  DieHardHeap *heap() const noexcept { return Heap; }
+
+private:
+  DieHardHeap *Heap;
+};
+
+template <typename A, typename B>
+bool operator==(const StlAllocator<A> &X, const StlAllocator<B> &Y) {
+  return X.heap() == Y.heap();
+}
+
+template <typename A, typename B>
+bool operator!=(const StlAllocator<A> &X, const StlAllocator<B> &Y) {
+  return !(X == Y);
+}
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_STLALLOCATOR_H

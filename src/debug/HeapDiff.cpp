@@ -1,0 +1,113 @@
+//===- debug/HeapDiff.cpp -------------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "debug/HeapDiff.h"
+
+#include "core/DieHardHeap.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace diehard {
+
+HeapSnapshot HeapSnapshot::capture(const DieHardHeap &Heap) {
+  HeapSnapshot Snap;
+  Snap.Seed = Heap.seed();
+  Heap.forEachLiveObject([&](int Class, size_t Slot, const void *Ptr,
+                             size_t Size) {
+    ObjectImage Image;
+    Image.Size = Size;
+    Image.Bytes.resize(Size);
+    std::memcpy(Image.Bytes.data(), Ptr, Size);
+    Snap.Objects.emplace(std::make_pair(Class, Slot), std::move(Image));
+  });
+  return Snap;
+}
+
+std::vector<HeapDiffEntry>
+diffHeapSnapshots(const HeapSnapshot &Reference,
+                  const HeapSnapshot &Suspect) {
+  std::vector<HeapDiffEntry> Diff;
+
+  auto RefIt = Reference.Objects.begin();
+  auto SusIt = Suspect.Objects.begin();
+  while (RefIt != Reference.Objects.end() ||
+         SusIt != Suspect.Objects.end()) {
+    bool TakeRef = SusIt == Suspect.Objects.end() ||
+                   (RefIt != Reference.Objects.end() &&
+                    RefIt->first < SusIt->first);
+    bool TakeSus = RefIt == Reference.Objects.end() ||
+                   (SusIt != Suspect.Objects.end() &&
+                    SusIt->first < RefIt->first);
+    if (TakeRef) {
+      Diff.push_back(HeapDiffEntry{HeapDiffKind::OnlyInReference,
+                                   RefIt->first.first, RefIt->first.second,
+                                   RefIt->second.Size, 0, 0});
+      ++RefIt;
+      continue;
+    }
+    if (TakeSus) {
+      Diff.push_back(HeapDiffEntry{HeapDiffKind::OnlyInSuspect,
+                                   SusIt->first.first, SusIt->first.second,
+                                   SusIt->second.Size, 0, 0});
+      ++SusIt;
+      continue;
+    }
+    // Same slot live in both: compare contents.
+    const auto &RefBytes = RefIt->second.Bytes;
+    const auto &SusBytes = SusIt->second.Bytes;
+    size_t N = RefBytes.size() < SusBytes.size() ? RefBytes.size()
+                                                 : SusBytes.size();
+    size_t First = N, Last = 0;
+    for (size_t B = 0; B < N; ++B) {
+      if (RefBytes[B] != SusBytes[B]) {
+        if (First == N)
+          First = B;
+        Last = B;
+      }
+    }
+    if (First != N)
+      Diff.push_back(HeapDiffEntry{HeapDiffKind::ContentChanged,
+                                   RefIt->first.first, RefIt->first.second,
+                                   RefIt->second.Size, First, Last});
+    ++RefIt;
+    ++SusIt;
+  }
+  return Diff;
+}
+
+std::string formatHeapDiff(const std::vector<HeapDiffEntry> &Diff) {
+  if (Diff.empty())
+    return "heaps identical\n";
+  std::string Out;
+  char Line[160];
+  for (const HeapDiffEntry &E : Diff) {
+    switch (E.Kind) {
+    case HeapDiffKind::ContentChanged:
+      std::snprintf(Line, sizeof(Line),
+                    "class %2d slot %6zu (%5zu B): bytes [%zu, %zu] "
+                    "overwritten\n",
+                    E.Class, E.Slot, E.Size, E.FirstByte, E.LastByte);
+      break;
+    case HeapDiffKind::OnlyInReference:
+      std::snprintf(Line, sizeof(Line),
+                    "class %2d slot %6zu (%5zu B): live only in reference "
+                    "run\n",
+                    E.Class, E.Slot, E.Size);
+      break;
+    case HeapDiffKind::OnlyInSuspect:
+      std::snprintf(Line, sizeof(Line),
+                    "class %2d slot %6zu (%5zu B): live only in suspect "
+                    "run\n",
+                    E.Class, E.Slot, E.Size);
+      break;
+    }
+    Out += Line;
+  }
+  return Out;
+}
+
+} // namespace diehard

@@ -1,0 +1,95 @@
+//===- debug/HeapDiff.h - heap differencing debugger ------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-corruption debugger the paper sketches in its conclusion
+/// (Section 9): "By differencing the heaps of correct and incorrect
+/// executions of applications, it may be possible to pinpoint the exact
+/// locations of memory errors and report these as part of a crash dump
+/// without the crash."
+///
+/// The workflow: run the program twice with the *same* DieHard seed — the
+/// layouts are then identical — once as the reference and once with the
+/// suspect input (or fault), snapshot both heaps, and diff. Any slot whose
+/// contents differ (or whose liveness differs) is a victim or evidence of
+/// the error; the byte range narrows the write.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_DEBUG_HEAPDIFF_H
+#define DIEHARD_DEBUG_HEAPDIFF_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diehard {
+
+class DieHardHeap;
+
+/// A point-in-time copy of every live object in a heap.
+class HeapSnapshot {
+public:
+  /// Captures all live small objects of \p Heap (contents copied).
+  static HeapSnapshot capture(const DieHardHeap &Heap);
+
+  /// Number of live objects captured.
+  size_t objectCount() const { return Objects.size(); }
+
+  /// The seed of the heap this snapshot came from (diffs require equal
+  /// seeds to be meaningful).
+  uint64_t heapSeed() const { return Seed; }
+
+private:
+  friend std::vector<struct HeapDiffEntry>
+  diffHeapSnapshots(const HeapSnapshot &Reference,
+                    const HeapSnapshot &Suspect);
+
+  struct ObjectImage {
+    size_t Size;
+    std::vector<uint8_t> Bytes;
+  };
+
+  /// Keyed by (class, slot): identical seeds make keys comparable across
+  /// executions.
+  std::map<std::pair<int, size_t>, ObjectImage> Objects;
+  uint64_t Seed = 0;
+};
+
+/// What kind of divergence a diff entry reports.
+enum class HeapDiffKind {
+  ContentChanged,  ///< Same object live in both, bytes differ.
+  OnlyInReference, ///< Live in the reference run only (lost object).
+  OnlyInSuspect,   ///< Live in the suspect run only (extra object).
+};
+
+/// One divergent slot between two same-seed executions.
+struct HeapDiffEntry {
+  HeapDiffKind Kind;
+  int Class;        ///< Size class of the slot.
+  size_t Slot;      ///< Slot index within the class.
+  size_t Size;      ///< Object size in bytes.
+  size_t FirstByte; ///< First differing byte (ContentChanged only).
+  size_t LastByte;  ///< Last differing byte (ContentChanged only).
+};
+
+/// Compares two snapshots taken at the same program point of two same-seed
+/// executions; returns every divergent slot. An overflow shows up as
+/// ContentChanged entries whose byte range abuts the end of a neighbouring
+/// (in slot space) object; a lost update through a dangling pointer shows
+/// up the same way on the reused slot.
+std::vector<HeapDiffEntry>
+diffHeapSnapshots(const HeapSnapshot &Reference,
+                  const HeapSnapshot &Suspect);
+
+/// Renders a diff in a compact human-readable report.
+std::string formatHeapDiff(const std::vector<HeapDiffEntry> &Diff);
+
+} // namespace diehard
+
+#endif // DIEHARD_DEBUG_HEAPDIFF_H

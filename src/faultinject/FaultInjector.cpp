@@ -1,0 +1,88 @@
+//===- faultinject/FaultInjector.cpp --------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/FaultInjector.h"
+
+namespace diehard {
+
+FaultInjector::FaultInjector(Allocator &Inner, const AllocationTrace &Trace,
+                             const FaultConfig &Config)
+    : Inner(Inner), Trace(Trace), Config(Config), Rand(Config.Seed) {}
+
+void FaultInjector::runDuePrematureFrees() {
+  while (!Pending.empty() && Pending.begin()->first <= Now) {
+    void *Victim = Pending.begin()->second;
+    Pending.erase(Pending.begin());
+    // The premature free: from the application's point of view this object
+    // is still live, so every later read or write through it is a dangling
+    // pointer access.
+    if (FreedEarly.insert(Victim).second) {
+      Inner.deallocate(Victim);
+      ++Stats.DanglingInjected;
+    }
+  }
+}
+
+void *FaultInjector::allocate(size_t Size) {
+  uint64_t AllocTime = Now++;
+
+  size_t Request = Size;
+  if (Config.OverflowProbability > 0.0 && Size >= Config.OverflowMinSize &&
+      Size > Config.UnderAllocateBytes &&
+      Rand.nextDouble() < Config.OverflowProbability) {
+    // Under-allocate: the application believes it got `Size` bytes, so its
+    // ordinary writes run off the end of the object.
+    Request = Size - Config.UnderAllocateBytes;
+    ++Stats.OverflowsInjected;
+  }
+
+  void *Ptr = Inner.allocate(Request);
+
+  // Schedule a premature free for this object if the trace knows when it
+  // would normally die. Only small objects, as in the paper.
+  if (Ptr != nullptr && AllocTime < Trace.size() &&
+      Size < SizeClass::MaxObjectSize &&
+      Config.DanglingProbability > 0.0 &&
+      Rand.nextDouble() < Config.DanglingProbability) {
+    int64_t FreeTime = Trace[AllocTime].FreeTime;
+    if (FreeTime > 0) {
+      uint64_t Early = static_cast<uint64_t>(FreeTime) >
+                               Config.DanglingDistance
+                           ? static_cast<uint64_t>(FreeTime) -
+                                 Config.DanglingDistance
+                           : AllocTime + 1;
+      if (Early <= AllocTime)
+        Early = AllocTime + 1;
+      Pending.emplace(Early, Ptr);
+    }
+  }
+
+  runDuePrematureFrees();
+  return Ptr;
+}
+
+void FaultInjector::deallocate(void *Ptr) {
+  auto It = FreedEarly.find(Ptr);
+  if (It != FreedEarly.end()) {
+    // The application's own free of an object we already freed early: the
+    // injector swallows it (the paper "ignores the subsequent actual call to
+    // free this object").
+    FreedEarly.erase(It);
+    ++Stats.IgnoredRealFrees;
+    return;
+  }
+  // Drop any still-pending premature free for this pointer: the object's
+  // real lifetime ended first.
+  for (auto P = Pending.begin(); P != Pending.end(); ++P) {
+    if (P->second == Ptr) {
+      Pending.erase(P);
+      break;
+    }
+  }
+  Inner.deallocate(Ptr);
+}
+
+} // namespace diehard

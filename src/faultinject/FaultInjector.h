@@ -1,0 +1,101 @@
+//===- faultinject/FaultInjector.h - memory-error injection -----*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Second half of the Section 7.3.1 methodology: a fault-injection layer
+/// that sits between the application and the memory allocator and triggers
+/// errors probabilistically, based on requested frequencies.
+///
+///  * Buffer overflows are triggered by under-allocation: the injector
+///    requests less memory from the underlying allocator than the
+///    application asked for, so the application's ordinary writes overflow.
+///  * Dangling pointers are triggered using the allocation log from a prior
+///    traced run: the injector frees an object `Distance` allocations before
+///    the application would, and ignores the application's subsequent
+///    (actual) free of that object.
+///
+/// Dangling injection applies only to small objects (< 16K), as in the
+/// paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_FAULTINJECT_FAULTINJECTOR_H
+#define DIEHARD_FAULTINJECT_FAULTINJECTOR_H
+
+#include "baselines/Allocator.h"
+#include "core/SizeClass.h"
+#include "faultinject/TraceAllocator.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+
+namespace diehard {
+
+/// Requested fault frequencies (Section 7.3.1's experiment uses dangling
+/// 50% / distance 10, and overflow 1% / 4-byte under-allocation of requests
+/// of 32 bytes or more).
+struct FaultConfig {
+  double DanglingProbability = 0.0; ///< Chance a freed object frees early.
+  uint64_t DanglingDistance = 10;   ///< How many allocations too early.
+  double OverflowProbability = 0.0; ///< Chance an allocation under-allocates.
+  size_t UnderAllocateBytes = 4;    ///< How many bytes short.
+  size_t OverflowMinSize = 32;      ///< Only under-allocate requests >= this.
+  uint64_t Seed = 1;                ///< Injection RNG seed.
+};
+
+/// Counters describing what was actually injected.
+struct FaultStats {
+  uint64_t DanglingInjected = 0; ///< Premature frees performed.
+  uint64_t IgnoredRealFrees = 0; ///< Application frees swallowed afterwards.
+  uint64_t OverflowsInjected = 0; ///< Under-allocated requests.
+};
+
+/// Allocator decorator injecting dangling-pointer and overflow faults.
+class FaultInjector final : public Allocator {
+public:
+  /// Wraps \p Inner. \p Trace is the allocation log from a traced run of the
+  /// same (deterministic) workload; it drives dangling injection. Both must
+  /// outlive this object.
+  FaultInjector(Allocator &Inner, const AllocationTrace &Trace,
+                const FaultConfig &Config);
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *getName() const override { return "fault-injector"; }
+
+  void registerRootRange(void *Base, size_t Len) override {
+    Inner.registerRootRange(Base, Len);
+  }
+  void unregisterRootRange(void *Base) override {
+    Inner.unregisterRootRange(Base);
+  }
+  void collect() override { Inner.collect(); }
+
+  const FaultStats &stats() const { return Stats; }
+
+private:
+  /// Performs any premature frees that have come due at the current
+  /// allocation time.
+  void runDuePrematureFrees();
+
+  Allocator &Inner;
+  const AllocationTrace &Trace;
+  FaultConfig Config;
+  Rng Rand;
+  FaultStats Stats;
+
+  uint64_t Now = 0; ///< Allocations performed so far.
+  /// Premature frees scheduled at future allocation times.
+  std::multimap<uint64_t, void *> Pending;
+  /// Pointers already freed early; the application's own free is ignored.
+  std::unordered_set<void *> FreedEarly;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_FAULTINJECT_FAULTINJECTOR_H

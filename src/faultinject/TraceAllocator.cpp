@@ -1,0 +1,34 @@
+//===- faultinject/TraceAllocator.cpp -------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/TraceAllocator.h"
+
+namespace diehard {
+
+void *TraceAllocator::allocate(size_t Size) {
+  void *Ptr = Inner.allocate(Size);
+  if (Ptr == nullptr)
+    return nullptr;
+  uint64_t Now = Trace.size();
+  Trace.push_back(AllocationRecord{Now, -1, Size});
+  LiveIndex[Ptr] = Now;
+  return Ptr;
+}
+
+void TraceAllocator::deallocate(void *Ptr) {
+  if (Ptr != nullptr) {
+    auto It = LiveIndex.find(Ptr);
+    if (It != LiveIndex.end()) {
+      // Free time is measured in allocation time: the number of allocations
+      // that have happened so far.
+      Trace[It->second].FreeTime = static_cast<int64_t>(Trace.size());
+      LiveIndex.erase(It);
+    }
+  }
+  Inner.deallocate(Ptr);
+}
+
+} // namespace diehard

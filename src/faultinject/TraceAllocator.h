@@ -1,0 +1,68 @@
+//===- faultinject/TraceAllocator.h - allocation tracing --------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// First half of the Section 7.3.1 fault-injection methodology: a tracing
+/// allocator that runs the application once and generates an allocation log.
+/// For every object the log records when it was allocated and when it was
+/// freed, both in allocation time (the number of allocations performed so
+/// far). The log, sorted by allocation time, then drives the fault injector
+/// on a second, identical run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_FAULTINJECT_TRACEALLOCATOR_H
+#define DIEHARD_FAULTINJECT_TRACEALLOCATOR_H
+
+#include "baselines/Allocator.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace diehard {
+
+/// One object's lifetime in allocation time.
+struct AllocationRecord {
+  uint64_t AllocTime;      ///< Index of the allocation that created it.
+  int64_t FreeTime;        ///< Allocation count at free; -1 if never freed.
+  size_t Size;             ///< Requested size in bytes.
+};
+
+/// The allocation log: records indexed by allocation time.
+using AllocationTrace = std::vector<AllocationRecord>;
+
+/// Allocator decorator that records an AllocationTrace while forwarding all
+/// requests to an underlying allocator.
+class TraceAllocator final : public Allocator {
+public:
+  /// Wraps \p Inner, which must outlive this object.
+  explicit TraceAllocator(Allocator &Inner) : Inner(Inner) {}
+
+  void *allocate(size_t Size) override;
+  void deallocate(void *Ptr) override;
+  const char *getName() const override { return "trace"; }
+
+  void registerRootRange(void *Base, size_t Len) override {
+    Inner.registerRootRange(Base, Len);
+  }
+  void unregisterRootRange(void *Base) override {
+    Inner.unregisterRootRange(Base);
+  }
+  void collect() override { Inner.collect(); }
+
+  /// The log recorded so far (indexed by allocation time).
+  const AllocationTrace &trace() const { return Trace; }
+
+private:
+  Allocator &Inner;
+  AllocationTrace Trace;
+  std::unordered_map<void *, uint64_t> LiveIndex;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_FAULTINJECT_TRACEALLOCATOR_H

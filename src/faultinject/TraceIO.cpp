@@ -1,0 +1,54 @@
+//===- faultinject/TraceIO.cpp --------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/TraceIO.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace diehard {
+
+bool writeTrace(const AllocationTrace &Trace, const std::string &Path) {
+  FILE *File = std::fopen(Path.c_str(), "w");
+  if (File == nullptr)
+    return false;
+  bool Ok = std::fprintf(File, "diehard-trace v1 %zu\n", Trace.size()) > 0;
+  for (const AllocationRecord &R : Trace) {
+    if (!Ok)
+      break;
+    Ok = std::fprintf(File, "%" PRIu64 " %" PRId64 " %zu\n", R.AllocTime,
+                      R.FreeTime, R.Size) > 0;
+  }
+  Ok = std::fclose(File) == 0 && Ok;
+  return Ok;
+}
+
+bool readTrace(AllocationTrace &Trace, const std::string &Path) {
+  Trace.clear();
+  FILE *File = std::fopen(Path.c_str(), "r");
+  if (File == nullptr)
+    return false;
+  size_t Count = 0;
+  if (std::fscanf(File, "diehard-trace v1 %zu\n", &Count) != 1) {
+    std::fclose(File);
+    return false;
+  }
+  Trace.reserve(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    AllocationRecord R;
+    if (std::fscanf(File, "%" SCNu64 " %" SCNd64 " %zu\n", &R.AllocTime,
+                    &R.FreeTime, &R.Size) != 3) {
+      Trace.clear();
+      std::fclose(File);
+      return false;
+    }
+    Trace.push_back(R);
+  }
+  std::fclose(File);
+  return true;
+}
+
+} // namespace diehard

@@ -1,0 +1,40 @@
+//===- faultinject/TraceIO.h - allocation-log persistence -------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Persistence for allocation logs. The paper's methodology is two-phased
+/// and file-based: "we first run the application with a tracing allocator
+/// that generates an allocation log ... we then sort the log by allocation
+/// time and use a fault-injection library" (Section 7.3.1). These helpers
+/// write and read that log so the traced run and the injected runs can be
+/// separate processes (as they are in `bench_fault_injection`'s forked
+/// children, and as they were in the paper's harness).
+///
+/// Format: a text file, one record per line, `<allocTime> <freeTime>
+/// <size>`, preceded by a `diehard-trace v1 <count>` header. freeTime is
+/// -1 for objects never freed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_FAULTINJECT_TRACEIO_H
+#define DIEHARD_FAULTINJECT_TRACEIO_H
+
+#include "faultinject/TraceAllocator.h"
+
+#include <string>
+
+namespace diehard {
+
+/// Writes \p Trace to \p Path. \returns true on success.
+bool writeTrace(const AllocationTrace &Trace, const std::string &Path);
+
+/// Reads a trace written by writeTrace. \returns true on success; on
+/// failure \p Trace is left empty.
+bool readTrace(AllocationTrace &Trace, const std::string &Path);
+
+} // namespace diehard
+
+#endif // DIEHARD_FAULTINJECT_TRACEIO_H

@@ -1,0 +1,194 @@
+//===- interpose/Interpose.cpp - malloc/free interposition ----------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The libdiehard.so shim (Section 5.1). Loading this library with
+/// LD_PRELOAD redirects all malloc/free calls of an unmodified binary to a
+/// process-global DieHard heap — "DieHard works with binaries and supports
+/// any language using explicit allocation". The replicated launcher points
+/// LD_PRELOAD at this library for every replica.
+///
+/// Configuration via the environment:
+///   DIEHARD_HEAP_SIZE   total heap reservation in bytes (default 384 MB)
+///   DIEHARD_M           expansion factor M (default 2)
+///   DIEHARD_SEED        RNG seed; 0 or unset = truly random per process
+///   DIEHARD_REPLICATED  "1" enables random object fill (replica mode)
+///
+/// Re-entrancy: constructing the heap allocates metadata (the bitmaps),
+/// which re-enters malloc on the same thread. Those nested requests are
+/// served from a static bootstrap arena; frees of bootstrap memory are
+/// ignored forever after.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DieHardHeap.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include <pthread.h>
+
+using diehard::DieHardHeap;
+using diehard::DieHardOptions;
+
+namespace {
+
+// A recursive lock: the nested (bootstrap) malloc during heap construction
+// runs on the same thread that already holds it.
+pthread_mutex_t TheLock = PTHREAD_RECURSIVE_MUTEX_INITIALIZER_NP;
+
+struct LockGuard {
+  LockGuard() { pthread_mutex_lock(&TheLock); }
+  ~LockGuard() { pthread_mutex_unlock(&TheLock); }
+};
+
+// Bootstrap arena for allocations made while the heap itself is being
+// constructed (bitmap storage and friends).
+constexpr size_t BootstrapBytes = 4 << 20;
+alignas(16) char BootstrapArena[BootstrapBytes];
+size_t BootstrapUsed = 0;
+bool ConstructingHeap = false;
+
+bool isBootstrapPointer(const void *Ptr) {
+  const char *P = static_cast<const char *>(Ptr);
+  return P >= BootstrapArena && P < BootstrapArena + BootstrapBytes;
+}
+
+void *bootstrapAllocate(size_t Size) {
+  size_t Aligned = (Size + 15) & ~size_t(15);
+  if (BootstrapUsed + Aligned > BootstrapBytes)
+    return nullptr;
+  void *Ptr = BootstrapArena + BootstrapUsed;
+  BootstrapUsed += Aligned;
+  return Ptr;
+}
+
+alignas(DieHardHeap) char HeapStorage[sizeof(DieHardHeap)];
+DieHardHeap *TheHeap = nullptr;
+
+size_t envSize(const char *Name, size_t Default) {
+  const char *V = std::getenv(Name);
+  if (V == nullptr || *V == '\0')
+    return Default;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(V, &End, 10);
+  return End != V ? static_cast<size_t>(Parsed) : Default;
+}
+
+double envDouble(const char *Name, double Default) {
+  const char *V = std::getenv(Name);
+  if (V == nullptr || *V == '\0')
+    return Default;
+  char *End = nullptr;
+  double Parsed = std::strtod(V, &End);
+  return End != V && Parsed > 1.0 ? Parsed : Default;
+}
+
+DieHardHeap *getHeap() {
+  if (TheHeap != nullptr)
+    return TheHeap;
+  ConstructingHeap = true;
+  DieHardOptions Options;
+  Options.HeapSize = envSize("DIEHARD_HEAP_SIZE", Options.HeapSize);
+  Options.M = envDouble("DIEHARD_M", Options.M);
+  Options.Seed = envSize("DIEHARD_SEED", 0);
+  const char *Replicated = std::getenv("DIEHARD_REPLICATED");
+  if (Replicated != nullptr && Replicated[0] == '1') {
+    Options.RandomFillObjects = true;
+    Options.RandomFillOnFree = true;
+  }
+  TheHeap = new (HeapStorage) DieHardHeap(Options);
+  ConstructingHeap = false;
+  return TheHeap;
+}
+
+} // namespace
+
+extern "C" {
+
+void *malloc(size_t Size) {
+  LockGuard Guard;
+  if (ConstructingHeap)
+    return bootstrapAllocate(Size);
+  return getHeap()->allocate(Size != 0 ? Size : 1);
+}
+
+void free(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  LockGuard Guard;
+  if (isBootstrapPointer(Ptr) || TheHeap == nullptr)
+    return; // Bootstrap memory is permanent; pre-heap frees are foreign.
+  TheHeap->deallocate(Ptr);
+}
+
+void *calloc(size_t Count, size_t Size) {
+  LockGuard Guard;
+  if (ConstructingHeap) {
+    if (Count != 0 && Size > SIZE_MAX / Count)
+      return nullptr;
+    void *Ptr = bootstrapAllocate(Count * Size);
+    if (Ptr != nullptr)
+      std::memset(Ptr, 0, Count * Size);
+    return Ptr;
+  }
+  return getHeap()->allocateZeroed(Count, Size != 0 ? Size : 1);
+}
+
+void *realloc(void *Ptr, size_t Size) {
+  LockGuard Guard;
+  if (ConstructingHeap)
+    return bootstrapAllocate(Size);
+  if (Ptr != nullptr && isBootstrapPointer(Ptr)) {
+    // Bootstrap blocks have no recorded size; conservatively copy `Size`
+    // bytes (bootstrap blocks only ever grow during construction).
+    void *Fresh = getHeap()->allocate(Size);
+    if (Fresh != nullptr)
+      std::memcpy(Fresh, Ptr, Size);
+    return Fresh;
+  }
+  return getHeap()->reallocate(Ptr, Size);
+}
+
+int posix_memalign(void **Out, size_t Alignment, size_t Size) {
+  if (Alignment < sizeof(void *) || (Alignment & (Alignment - 1)) != 0)
+    return EINVAL;
+  // Power-of-two size classes give natural alignment up to a page; larger
+  // alignments are not supported by the randomized layout.
+  if (Alignment > 4096)
+    return ENOMEM;
+  LockGuard Guard;
+  if (ConstructingHeap) {
+    *Out = bootstrapAllocate(Size < Alignment ? Alignment : Size);
+    return *Out != nullptr ? 0 : ENOMEM;
+  }
+  size_t Request = Size < Alignment ? Alignment : Size;
+  *Out = getHeap()->allocate(Request != 0 ? Request : 1);
+  return *Out != nullptr ? 0 : ENOMEM;
+}
+
+void *aligned_alloc(size_t Alignment, size_t Size) {
+  void *Ptr = nullptr;
+  return posix_memalign(&Ptr, Alignment, Size) == 0 ? Ptr : nullptr;
+}
+
+void *memalign(size_t Alignment, size_t Size) {
+  void *Ptr = nullptr;
+  return posix_memalign(&Ptr, Alignment, Size) == 0 ? Ptr : nullptr;
+}
+
+size_t malloc_usable_size(void *Ptr) {
+  if (Ptr == nullptr)
+    return 0;
+  LockGuard Guard;
+  if (isBootstrapPointer(Ptr) || TheHeap == nullptr)
+    return 0;
+  return TheHeap->getObjectSize(Ptr);
+}
+
+} // extern "C"

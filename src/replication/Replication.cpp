@@ -1,0 +1,348 @@
+//===- replication/Replication.cpp ----------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replication/Replication.h"
+
+#include "support/RealRandomSource.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace diehard {
+namespace {
+
+/// Header of the per-replica shared-memory output buffer. The replica is
+/// the only writer of Written and Done; the manager only reads. Data bytes
+/// follow the header.
+struct SharedBuffer {
+  std::atomic<uint64_t> Written; ///< Bytes appended so far.
+  std::atomic<uint32_t> Done;    ///< Replica finished writing.
+  char Data[];                   ///< BufferCapacity bytes.
+};
+
+SharedBuffer *mapSharedBuffer(size_t Capacity) {
+  void *P = ::mmap(nullptr, sizeof(SharedBuffer) + Capacity,
+                   PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return nullptr;
+  auto *Buf = new (P) SharedBuffer;
+  Buf->Written.store(0, std::memory_order_relaxed);
+  Buf->Done.store(0, std::memory_order_relaxed);
+  return Buf;
+}
+
+/// Bookkeeping the manager keeps per replica.
+struct ReplicaSlot {
+  pid_t Pid = -1;
+  SharedBuffer *Buffer = nullptr;
+  int StdinWriteFd = -1;
+  bool Live = false;
+  size_t Voted = 0; ///< Bytes already committed by the voter.
+  ReplicaFate Fate = ReplicaFate::Agreed;
+};
+
+uint64_t nowMillis() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+std::string ReplicaContext::readAllInput() const {
+  std::string All;
+  char Chunk[4096];
+  ssize_t N;
+  while ((N = ::read(InputFd, Chunk, sizeof(Chunk))) > 0)
+    All.append(Chunk, static_cast<size_t>(N));
+  return All;
+}
+
+bool ReplicaContext::write(const void *Data, size_t Len) {
+  auto *Buf = static_cast<SharedBuffer *>(Shared);
+  assert(Buf != nullptr && "context not wired to a buffer");
+  uint64_t Offset = Buf->Written.load(std::memory_order_relaxed);
+  if (Offset + Len > Capacity)
+    return false;
+  std::memcpy(Buf->Data + Offset, Data, Len);
+  Buf->Written.store(Offset + Len, std::memory_order_release);
+  return true;
+}
+
+ReplicaManager::ReplicaManager(const ReplicationOptions &Options)
+    : Opts(Options) {
+  assert((Opts.Replicas == 1 || Opts.Replicas >= 3) &&
+         "the voter cannot arbitrate between exactly two replicas");
+}
+
+ReplicationResult ReplicaManager::run(const ReplicaBody &Body,
+                                      const std::string &Input) {
+  ReplicationResult Result;
+  int K = Opts.Replicas;
+  Result.Fates.assign(static_cast<size_t>(K), ReplicaFate::Agreed);
+
+  // Per-replica seeds: either truly random (deployment) or derived from the
+  // master seed (reproducible tests).
+  Rng SeedGen(Opts.MasterSeed != 0 ? Opts.MasterSeed : realRandomSeed());
+  uint64_t VirtualTime = SeedGen.next64();
+
+  std::vector<ReplicaSlot> Slots(static_cast<size_t>(K));
+  for (int I = 0; I < K; ++I) {
+    ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+    Slot.Buffer = mapSharedBuffer(Opts.BufferCapacity);
+    if (Slot.Buffer == nullptr)
+      return Result;
+
+    int Fds[2];
+    if (::pipe(Fds) != 0)
+      return Result;
+
+    uint64_t Seed = SeedGen.next64() | 1; // Nonzero.
+    pid_t Pid = ::fork();
+    if (Pid == 0) {
+      // Child: this process *is* replica I. Drop inherited write ends of
+      // earlier replicas' stdin pipes so their EOF does not depend on us.
+      for (int J = 0; J < I; ++J)
+        if (Slots[static_cast<size_t>(J)].StdinWriteFd >= 0)
+          ::close(Slots[static_cast<size_t>(J)].StdinWriteFd);
+      ::close(Fds[1]);
+      ReplicaContext Ctx;
+      Ctx.HeapOpts.HeapSize = Opts.HeapSize;
+      Ctx.HeapOpts.M = Opts.M;
+      Ctx.HeapOpts.Seed = Seed;
+      Ctx.HeapOpts.RandomFillObjects = true; // Replicated mode (Section 3.2).
+      Ctx.HeapOpts.RandomFillOnFree = true;
+      Ctx.Index = I;
+      Ctx.InputFd = Fds[0];
+      Ctx.VirtualTime = VirtualTime;
+      Ctx.Shared = Slot.Buffer;
+      Ctx.Capacity = Opts.BufferCapacity;
+      int Code = Body(Ctx);
+      Slot.Buffer->Done.store(1, std::memory_order_release);
+      ::_exit(Code);
+    }
+    ::close(Fds[0]);
+    Slot.Pid = Pid;
+    Slot.StdinWriteFd = Fds[1];
+    Slot.Live = Pid > 0;
+  }
+
+  // Broadcast standard input to every replica, then close the pipes so the
+  // replicas see end-of-file.
+  for (ReplicaSlot &Slot : Slots) {
+    if (!Slot.Live)
+      continue;
+    size_t Off = 0;
+    while (Off < Input.size()) {
+      ssize_t N = ::write(Slot.StdinWriteFd, Input.data() + Off,
+                          Input.size() - Off);
+      if (N <= 0)
+        break;
+      Off += static_cast<size_t>(N);
+    }
+    ::close(Slot.StdinWriteFd);
+    Slot.StdinWriteFd = -1;
+  }
+
+  auto reapDead = [&]() {
+    for (int I = 0; I < K; ++I) {
+      ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+      if (!Slot.Live)
+        continue;
+      int Status = 0;
+      pid_t R = ::waitpid(Slot.Pid, &Status, WNOHANG);
+      if (R != Slot.Pid)
+        continue;
+      // A replica that exited without marking Done crashed or failed: it is
+      // no longer live. Whenever a replica dies, the manager decrements the
+      // number of currently-live replicas (Section 5.2).
+      bool FinishedCleanly =
+          Slot.Buffer->Done.load(std::memory_order_acquire) != 0 &&
+          WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+      if (!FinishedCleanly) {
+        Slot.Live = false;
+        Result.Fates[static_cast<size_t>(I)] = WIFSIGNALED(Status)
+                                                   ? ReplicaFate::Crashed
+                                                   : ReplicaFate::NonzeroExit;
+      } else {
+        Slot.Live = false; // Finished; still participates via its buffer.
+        Result.Fates[static_cast<size_t>(I)] = ReplicaFate::Agreed;
+      }
+      Slot.Pid = -1;
+    }
+  };
+
+  auto killReplica = [&](int I, ReplicaFate Fate) {
+    ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+    if (Slot.Pid > 0) {
+      ::kill(Slot.Pid, SIGKILL);
+      int Status;
+      ::waitpid(Slot.Pid, &Status, 0);
+      Slot.Pid = -1;
+    }
+    Slot.Live = false;
+    Slot.Buffer->Done.store(1, std::memory_order_release);
+    Slot.Voted = SIZE_MAX; // Excluded from all further voting.
+    Result.Fates[static_cast<size_t>(I)] = Fate;
+  };
+
+  // Voting loop. A replica participates while Voted != SIZE_MAX; its buffer
+  // remains valid even after process exit.
+  uint64_t Deadline =
+      Opts.TimeoutMillis > 0
+          ? nowMillis() + static_cast<uint64_t>(Opts.TimeoutMillis)
+          : ~uint64_t(0);
+  bool VotingFailed = false;
+
+  auto participants = [&]() {
+    std::vector<int> P;
+    for (int I = 0; I < K; ++I)
+      if (Slots[static_cast<size_t>(I)].Voted != SIZE_MAX)
+        P.push_back(I);
+    return P;
+  };
+
+  while (!VotingFailed) {
+    reapDead();
+
+    // Drop participants that died before finishing their output: a crashed
+    // or error-exiting replica has entered an undefined state and its
+    // buffer cannot be trusted.
+    for (int I = 0; I < K; ++I) {
+      ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+      if (Slot.Voted == SIZE_MAX || Slot.Live)
+        continue;
+      ReplicaFate Fate = Result.Fates[static_cast<size_t>(I)];
+      if (Fate == ReplicaFate::Crashed || Fate == ReplicaFate::NonzeroExit)
+        Slot.Voted = SIZE_MAX;
+    }
+
+    std::vector<int> Voters = participants();
+    if (Voters.empty()) {
+      VotingFailed = true;
+      break;
+    }
+
+    // How much unvoted output does each participant have, and are they all
+    // finished?
+    bool AllDone = true;
+    size_t MinAvail = SIZE_MAX;
+    for (int I : Voters) {
+      ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+      uint64_t Written = Slot.Buffer->Written.load(std::memory_order_acquire);
+      size_t Avail = static_cast<size_t>(Written) - Slot.Voted;
+      MinAvail = Avail < MinAvail ? Avail : MinAvail;
+      if (Slot.Buffer->Done.load(std::memory_order_acquire) == 0)
+        AllDone = false;
+    }
+
+    bool FinalRound = AllDone;
+    if (!FinalRound && MinAvail < Opts.ChunkSize) {
+      // Barrier not reached: wait for the laggards (or the watchdog).
+      if (nowMillis() > Deadline) {
+        for (int I : Voters)
+          if (Slots[static_cast<size_t>(I)].Live)
+            killReplica(I, ReplicaFate::TimedOut);
+        continue;
+      }
+      ::usleep(200);
+      continue;
+    }
+
+    // Vote on the next chunk. In the final round replicas may have
+    // different total lengths; length differences count as disagreement.
+    struct Ballot {
+      const char *Data;
+      size_t Len;
+      std::vector<int> Members;
+    };
+    std::vector<Ballot> Ballots;
+    for (int I : Voters) {
+      ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+      uint64_t Written = Slot.Buffer->Written.load(std::memory_order_acquire);
+      size_t Avail = static_cast<size_t>(Written) - Slot.Voted;
+      size_t Len = FinalRound ? Avail
+                              : (Opts.ChunkSize < Avail ? Opts.ChunkSize
+                                                        : Avail);
+      const char *Data = Slot.Buffer->Data + Slot.Voted;
+      bool Placed = false;
+      for (Ballot &B : Ballots) {
+        if (B.Len == Len && std::memcmp(B.Data, Data, Len) == 0) {
+          B.Members.push_back(I);
+          Placed = true;
+          break;
+        }
+      }
+      if (!Placed)
+        Ballots.push_back(Ballot{Data, Len, {I}});
+    }
+
+    // Pick the winning ballot: any ballot with at least two members (two
+    // agreeing randomized replicas are almost surely correct), or the only
+    // ballot when a single replica remains (stand-alone degradation).
+    const Ballot *Winner = nullptr;
+    for (const Ballot &B : Ballots)
+      if (B.Members.size() >= 2)
+        Winner = &B;
+    if (Winner == nullptr && Voters.size() == 1)
+      Winner = &Ballots.front();
+
+    if (Winner == nullptr) {
+      // All live replicas disagree pairwise. With three or more voters this
+      // is the signature of an uninitialized read reaching output
+      // (Section 6.3); with fewer it is an unarbitrable failure.
+      Result.UninitReadDetected = Voters.size() >= 3;
+      for (int I : Voters)
+        killReplica(I, ReplicaFate::KilledByVote);
+      VotingFailed = true;
+      break;
+    }
+
+    Result.Output.append(Winner->Data, Winner->Len);
+    // Losers have entered undefined states; kill and exclude them.
+    for (int I : Voters) {
+      bool InWinner = false;
+      for (int W : Winner->Members)
+        InWinner |= W == I;
+      if (!InWinner)
+        killReplica(I, ReplicaFate::KilledByVote);
+    }
+    for (int W : Winner->Members)
+      Slots[static_cast<size_t>(W)].Voted += Winner->Len;
+
+    if (FinalRound) {
+      Result.Success = true;
+      Result.Survivors = static_cast<int>(Winner->Members.size());
+      break;
+    }
+  }
+
+  // Cleanup: reap everything and release the shared buffers.
+  for (int I = 0; I < K; ++I) {
+    ReplicaSlot &Slot = Slots[static_cast<size_t>(I)];
+    if (Slot.Pid > 0) {
+      ::kill(Slot.Pid, SIGKILL);
+      int Status;
+      ::waitpid(Slot.Pid, &Status, 0);
+    }
+    if (Slot.StdinWriteFd >= 0)
+      ::close(Slot.StdinWriteFd);
+    if (Slot.Buffer != nullptr)
+      ::munmap(Slot.Buffer, sizeof(SharedBuffer) + Opts.BufferCapacity);
+  }
+  return Result;
+}
+
+} // namespace diehard

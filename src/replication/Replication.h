@@ -1,0 +1,136 @@
+//===- replication/Replication.h - replicated execution ---------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replicated variant of DieHard (Section 5). The manager spawns each
+/// replica in its own process with a differently seeded, fully randomized
+/// memory manager. Standard input is broadcast to every replica over a
+/// pipe; each replica writes its standard output into a memory-mapped
+/// region shared with the manager. The voter periodically synchronizes at
+/// barriers: whenever all currently-live replicas have terminated or filled
+/// an output chunk (4 KB, the unit of transfer of a pipe), it compares the
+/// chunks and only commits output agreed on by at least two replicas.
+/// Disagreeing replicas have entered an undefined state and are killed.
+///
+/// Errors like buffer overflows overwrite different memory in different
+/// replicas, so agreement implies (with high probability) a safe execution;
+/// uninitialized reads make all replicas disagree and are thereby detected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_REPLICATION_REPLICATION_H
+#define DIEHARD_REPLICATION_REPLICATION_H
+
+#include "core/DieHardHeap.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace diehard {
+
+/// Execution environment handed to the replica body after fork.
+class ReplicaContext {
+public:
+  /// Heap options for this replica: replicated mode (random object fill)
+  /// with a replica-specific random seed.
+  const DieHardOptions &heapOptions() const { return HeapOpts; }
+
+  /// Index of this replica (0-based).
+  int replicaIndex() const { return Index; }
+
+  /// File descriptor carrying this replica's copy of standard input.
+  int inputFd() const { return InputFd; }
+
+  /// Reads all of standard input into a string (convenience).
+  std::string readAllInput() const;
+
+  /// Appends \p Len bytes to this replica's output buffer.
+  /// \returns false if the buffer is exhausted (the replica should abort).
+  bool write(const void *Data, size_t Len);
+
+  /// Convenience overload for text.
+  bool write(const std::string &Text) {
+    return write(Text.data(), Text.size());
+  }
+
+  /// A virtual clock, identical across replicas, standing in for the
+  /// paper's interception of date/clock system calls so that correct
+  /// replicas stay output-equivalent.
+  uint64_t virtualTimeNanos() const { return VirtualTime; }
+
+private:
+  friend class ReplicaManager;
+  DieHardOptions HeapOpts;
+  int Index = 0;
+  int InputFd = -1;
+  uint64_t VirtualTime = 0;
+  void *Shared = nullptr; ///< SharedBuffer header, opaque here.
+  size_t Capacity = 0;    ///< Output buffer capacity in bytes.
+};
+
+/// The body a replica executes; its return value becomes the process exit
+/// code. The body should write all program output through the context.
+using ReplicaBody = std::function<int(ReplicaContext &)>;
+
+/// Configuration for a replicated run.
+struct ReplicationOptions {
+  int Replicas = 3;            ///< One, or at least three (k != 2).
+  size_t ChunkSize = 4096;     ///< Voting barrier granularity.
+  size_t BufferCapacity = 1 << 24; ///< Per-replica output buffer bytes.
+  uint64_t MasterSeed = 0;     ///< 0 = truly random per-replica seeds.
+  size_t HeapSize = 64 * 1024 * 1024; ///< Per-replica heap reservation.
+  double M = 2.0;              ///< Heap expansion factor per replica.
+  int TimeoutMillis = 30000;   ///< Watchdog for hung replicas (0 = none).
+};
+
+/// How a replica ended.
+enum class ReplicaFate {
+  Agreed,       ///< Ran to completion and agreed with the vote throughout.
+  Crashed,      ///< Terminated by a signal (e.g. SIGSEGV).
+  KilledByVote, ///< Produced output disagreeing with the majority.
+  NonzeroExit,  ///< Exited with a nonzero status.
+  TimedOut,     ///< Killed by the watchdog.
+};
+
+/// Outcome of a replicated execution.
+struct ReplicationResult {
+  /// True if output was committed by agreement (at least two replicas, or
+  /// the single replica in stand-alone mode) through the end of the run.
+  bool Success = false;
+
+  /// True if at some barrier *all* live replicas disagreed pairwise — the
+  /// signature of an uninitialized read propagating to output (Section 6.3).
+  bool UninitReadDetected = false;
+
+  /// The voted output stream.
+  std::string Output;
+
+  /// Per-replica fate, indexed by replica number.
+  std::vector<ReplicaFate> Fates;
+
+  /// Number of replicas that reached the end in agreement.
+  int Survivors = 0;
+};
+
+/// Spawns, feeds, votes on, and reaps a set of randomized replicas.
+class ReplicaManager {
+public:
+  explicit ReplicaManager(const ReplicationOptions &Options);
+
+  /// Runs \p Body in Options.Replicas processes, broadcasting \p Input to
+  /// each via its stdin pipe, and votes on their output.
+  ReplicationResult run(const ReplicaBody &Body, const std::string &Input);
+
+private:
+  ReplicationOptions Opts;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_REPLICATION_REPLICATION_H

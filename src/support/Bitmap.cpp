@@ -1,0 +1,35 @@
+//===- support/Bitmap.cpp -------------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitmap.h"
+
+#include <bit>
+
+namespace diehard {
+
+size_t Bitmap::count() const {
+  size_t Total = 0;
+  for (uint64_t W : Words)
+    Total += static_cast<size_t>(std::popcount(W));
+  return Total;
+}
+
+size_t Bitmap::findNextClear(size_t From) const {
+  for (size_t Index = From; Index < Bits; ++Index) {
+    size_t WordIndex = Index / BitsPerWord;
+    uint64_t Word = Words[WordIndex];
+    // Skip fully-set words quickly.
+    if (Word == ~uint64_t(0)) {
+      Index = (WordIndex + 1) * BitsPerWord - 1;
+      continue;
+    }
+    if (!((Word >> (Index % BitsPerWord)) & 1))
+      return Index;
+  }
+  return Bits;
+}
+
+} // namespace diehard

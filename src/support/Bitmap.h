@@ -1,0 +1,97 @@
+//===- support/Bitmap.h - allocation bitmap ---------------------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bit vector used as the per-size-class allocation bitmap. The paper
+/// stores exactly one bit of metadata per heap object, fully segregated from
+/// the heap itself (Section 4.1), which is what makes DieHard immune to heap
+/// metadata overwrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_SUPPORT_BITMAP_H
+#define DIEHARD_SUPPORT_BITMAP_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace diehard {
+
+/// Dense bit vector with one bit per heap slot.
+///
+/// All bits start clear (slot free). The bitmap owns its storage; it lives in
+/// ordinary allocator-private memory, far from the managed heap, so heap
+/// overflows cannot reach it.
+class Bitmap {
+public:
+  Bitmap() = default;
+
+  /// Creates a bitmap of \p NumBits bits, all clear.
+  explicit Bitmap(size_t NumBits) { reset(NumBits); }
+
+  /// Resizes to \p NumBits bits and clears every bit.
+  void reset(size_t NumBits) {
+    Bits = NumBits;
+    Words.assign((NumBits + BitsPerWord - 1) / BitsPerWord, 0);
+  }
+
+  /// Clears every bit without changing the size.
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Returns the number of bits.
+  size_t size() const { return Bits; }
+
+  /// Returns true if bit \p Index is set.
+  bool test(size_t Index) const {
+    assert(Index < Bits && "bitmap index out of range");
+    return (Words[Index / BitsPerWord] >> (Index % BitsPerWord)) & 1;
+  }
+
+  /// Sets bit \p Index. Returns false if it was already set.
+  bool trySet(size_t Index) {
+    assert(Index < Bits && "bitmap index out of range");
+    uint64_t &Word = Words[Index / BitsPerWord];
+    uint64_t Mask = uint64_t(1) << (Index % BitsPerWord);
+    if (Word & Mask)
+      return false;
+    Word |= Mask;
+    return true;
+  }
+
+  /// Clears bit \p Index. Returns false if it was already clear.
+  bool tryClear(size_t Index) {
+    assert(Index < Bits && "bitmap index out of range");
+    uint64_t &Word = Words[Index / BitsPerWord];
+    uint64_t Mask = uint64_t(1) << (Index % BitsPerWord);
+    if (!(Word & Mask))
+      return false;
+    Word &= ~Mask;
+    return true;
+  }
+
+  /// Returns the number of set bits.
+  size_t count() const;
+
+  /// Returns the index of the first clear bit at or after \p From, or
+  /// size() if every bit from \p From onward is set. Used as the fallback
+  /// linear probe when random probing is unlucky.
+  size_t findNextClear(size_t From) const;
+
+private:
+  static constexpr size_t BitsPerWord = 64;
+
+  size_t Bits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_SUPPORT_BITMAP_H

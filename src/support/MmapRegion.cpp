@@ -1,0 +1,72 @@
+//===- support/MmapRegion.cpp ---------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MmapRegion.h"
+
+#include <cassert>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace diehard {
+
+MmapRegion::MmapRegion(MmapRegion &&Other) noexcept
+    : Base(Other.Base), Size(Other.Size) {
+  Other.Base = nullptr;
+  Other.Size = 0;
+}
+
+MmapRegion &MmapRegion::operator=(MmapRegion &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  unmap();
+  Base = Other.Base;
+  Size = Other.Size;
+  Other.Base = nullptr;
+  Other.Size = 0;
+  return *this;
+}
+
+MmapRegion::~MmapRegion() { unmap(); }
+
+bool MmapRegion::map(size_t NumBytes) {
+  unmap();
+  if (NumBytes == 0)
+    return false;
+  // MAP_NORESERVE keeps huge reservations cheap: pages are committed lazily
+  // on first touch, exactly the lazy-initialization behaviour the paper
+  // relies on for its M-times-oversized heap.
+  void *P = ::mmap(nullptr, NumBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (P == MAP_FAILED)
+    return false;
+  Base = P;
+  Size = NumBytes;
+  return true;
+}
+
+void MmapRegion::unmap() {
+  if (Base != nullptr)
+    ::munmap(Base, Size);
+  Base = nullptr;
+  Size = 0;
+}
+
+bool MmapRegion::protectNone(size_t Offset, size_t Len) {
+  assert(Base != nullptr && "cannot protect an empty region");
+  assert(Offset % pageSize() == 0 && Len % pageSize() == 0 &&
+         "guard pages must be page-aligned");
+  assert(Offset + Len <= Size && "guard range out of bounds");
+  char *Start = static_cast<char *>(Base) + Offset;
+  return ::mprotect(Start, Len, PROT_NONE) == 0;
+}
+
+size_t MmapRegion::pageSize() {
+  static const size_t Cached = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return Cached;
+}
+
+} // namespace diehard

@@ -1,0 +1,31 @@
+//===- support/RealRandomSource.cpp ---------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RealRandomSource.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace diehard {
+
+uint64_t realRandomSeed() {
+  if (FILE *Dev = std::fopen("/dev/urandom", "rb")) {
+    uint64_t Seed = 0;
+    size_t Read = std::fread(&Seed, sizeof(Seed), 1, Dev);
+    std::fclose(Dev);
+    if (Read == 1)
+      return Seed;
+  }
+  // Fallback: mix the monotonic clock with the pid. Not cryptographic, but
+  // sufficient to give replicas distinct allocator layouts.
+  uint64_t Now = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  return Now ^ (static_cast<uint64_t>(::getpid()) << 32);
+}
+
+} // namespace diehard

@@ -1,0 +1,28 @@
+//===- support/RealRandomSource.h - true randomness for seeds ---*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source of true random seeds. The paper seeds each replica's allocator RNG
+/// with a truly random number read from /dev/urandom (Section 4.1); this
+/// wrapper provides that, with a time/pid fallback when the device is
+/// unavailable (e.g. heavily sandboxed environments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_SUPPORT_REALRANDOMSOURCE_H
+#define DIEHARD_SUPPORT_REALRANDOMSOURCE_H
+
+#include <cstdint>
+
+namespace diehard {
+
+/// Reads 64 bits of entropy from /dev/urandom; falls back to a mix of the
+/// monotonic clock and the process id if the device cannot be opened.
+uint64_t realRandomSeed();
+
+} // namespace diehard
+
+#endif // DIEHARD_SUPPORT_REALRANDOMSOURCE_H

@@ -1,0 +1,56 @@
+//===- workloads/ForkHarness.cpp ------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/ForkHarness.h"
+
+#include <chrono>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace diehard {
+
+ForkOutcome runInFork(const std::function<int()> &Body, int TimeoutMillis) {
+  ForkOutcome Outcome;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    Outcome.ForkFailed = true;
+    return Outcome;
+  }
+  if (Pid == 0) {
+    // Child: make crashes quiet (no core, default handlers) and run.
+    ::_exit(Body());
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  for (;;) {
+    int Status = 0;
+    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    if (R == Pid) {
+      if (WIFEXITED(Status)) {
+        Outcome.Exited = true;
+        Outcome.ExitCode = WEXITSTATUS(Status);
+      } else if (WIFSIGNALED(Status)) {
+        Outcome.Signaled = true;
+        Outcome.Signal = WTERMSIG(Status);
+      }
+      return Outcome;
+    }
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    if (Elapsed > TimeoutMillis) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, &Status, 0);
+      Outcome.TimedOut = true;
+      return Outcome;
+    }
+    ::usleep(500);
+  }
+}
+
+} // namespace diehard

@@ -1,0 +1,44 @@
+//===- workloads/ForkHarness.h - crash observation harness ------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a callable in a forked child and reports how it ended. The error-
+/// avoidance experiments (Section 7.3) need to observe crashes, infinite
+/// loops, and clean completions of deliberately corrupted programs without
+/// taking down the harness, which is exactly what a fork boundary provides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_FORKHARNESS_H
+#define DIEHARD_WORKLOADS_FORKHARNESS_H
+
+#include <functional>
+
+namespace diehard {
+
+/// How a forked run ended.
+struct ForkOutcome {
+  bool ForkFailed = false;
+  bool Exited = false;   ///< Terminated via exit().
+  int ExitCode = -1;     ///< Valid when Exited.
+  bool Signaled = false; ///< Terminated by a signal (crash).
+  int Signal = 0;        ///< Valid when Signaled.
+  bool TimedOut = false; ///< Killed by the harness watchdog (hang).
+
+  /// True if the child exited normally with status 0.
+  bool cleanExit() const { return Exited && ExitCode == 0; }
+};
+
+/// Runs \p Body in a forked child; the child's exit status is Body's return
+/// value. If the child runs longer than \p TimeoutMillis it is killed and
+/// the outcome reports a hang (the fault-injection experiments saw espresso
+/// enter an infinite loop under injected overflows).
+ForkOutcome runInFork(const std::function<int()> &Body,
+                      int TimeoutMillis = 20000);
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_FORKHARNESS_H

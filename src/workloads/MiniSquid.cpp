@@ -1,0 +1,182 @@
+//===- workloads/MiniSquid.cpp --------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/MiniSquid.h"
+
+#include <cstring>
+
+namespace diehard {
+
+MiniSquid::MiniSquid(Allocator &Heap, const CheckedLibc *Checked)
+    : Heap(Heap), Checked(Checked) {}
+
+MiniSquid::~MiniSquid() {
+  while (Entries != nullptr) {
+    CacheEntry *Next = Entries->Next;
+    Heap.deallocate(Entries->Url);
+    Heap.deallocate(Entries->Payload);
+    Heap.deallocate(Entries);
+    Entries = Next;
+  }
+  while (Log != nullptr) {
+    LogRecord *Next = Log->Next;
+    Heap.deallocate(Log->UrlCopy);
+    Heap.deallocate(Log);
+    Log = Next;
+  }
+}
+
+char *MiniSquid::duplicateString(const char *Text) {
+  size_t Len = std::strlen(Text) + 1;
+  char *Copy = static_cast<char *>(Heap.allocate(Len));
+  if (Copy != nullptr)
+    std::memcpy(Copy, Text, Len);
+  return Copy;
+}
+
+MiniSquid::CacheEntry *MiniSquid::findEntry(const char *Url) {
+  for (CacheEntry *E = Entries; E != nullptr; E = E->Next)
+    if (std::strcmp(E->Url, Url) == 0)
+      return E;
+  return nullptr;
+}
+
+void MiniSquid::evictIfNeeded() {
+  if (EntryCount < MaxEntries || Entries == nullptr)
+    return;
+  // Evict the last (oldest) entry.
+  CacheEntry **Link = &Entries;
+  while ((*Link)->Next != nullptr)
+    Link = &(*Link)->Next;
+  CacheEntry *Oldest = *Link;
+  *Link = nullptr;
+  Heap.deallocate(Oldest->Url);
+  Heap.deallocate(Oldest->Payload);
+  Heap.deallocate(Oldest);
+  --EntryCount;
+}
+
+void MiniSquid::insertEntry(const char *Url, const std::string &Payload) {
+  evictIfNeeded();
+  char *Key = duplicateString(Url);
+  char *Body = static_cast<char *>(Heap.allocate(Payload.size() + 1));
+  auto *Entry = static_cast<CacheEntry *>(Heap.allocate(sizeof(CacheEntry)));
+  if (Key == nullptr || Body == nullptr || Entry == nullptr) {
+    Heap.deallocate(Key);
+    Heap.deallocate(Body);
+    Heap.deallocate(Entry);
+    return;
+  }
+  std::memcpy(Body, Payload.data(), Payload.size() + 1);
+  Entry->Url = Key;
+  Entry->Payload = Body;
+  Entry->PayloadSize = Payload.size();
+  Entry->Next = Entries;
+  Entries = Entry;
+  ++EntryCount;
+}
+
+void MiniSquid::trimLog() {
+  if (LogCount <= MaxLogRecords)
+    return;
+  LogRecord **Link = &Log;
+  while ((*Link)->Next != nullptr)
+    Link = &(*Link)->Next;
+  LogRecord *Oldest = *Link;
+  *Link = nullptr;
+  Heap.deallocate(Oldest->UrlCopy);
+  Heap.deallocate(Oldest);
+  --LogCount;
+}
+
+uint32_t MiniSquid::summarizeRecentLog() const {
+  // The stats path every real server has: it walks recent log records and
+  // dereferences their string pointers. If the overflow clobbered a record,
+  // this is where the corrupted pointer is chased.
+  uint32_t Acc = 0;
+  int Walked = 0;
+  for (const LogRecord *R = Log; R != nullptr && Walked < 8;
+       R = R->Next, ++Walked) {
+    Acc = Acc * 31 + R->Status;
+    if (R->UrlCopy != nullptr)
+      Acc = Acc * 31 + static_cast<unsigned char>(R->UrlCopy[0]);
+  }
+  return Acc;
+}
+
+std::string MiniSquid::handleRequest(const std::string &RequestLine) {
+  ++Served;
+  if (RequestLine.rfind("GET ", 0) != 0)
+    return "400 Bad Request\n";
+  std::string Url = RequestLine.substr(4);
+  while (!Url.empty() && (Url.back() == '\n' || Url.back() == '\r'))
+    Url.pop_back();
+  if (Url.empty())
+    return "400 Bad Request\n";
+
+  // --- The buggy path, faithful to Squid 2.3s5. ---
+  // 1. A fixed-size heap buffer for the canonicalized URL.
+  char *Buffer = static_cast<char *>(Heap.allocate(UrlBufferSize));
+  // 2. The access-log record for this request, allocated *before* the copy:
+  //    under sequentially placing allocators it sits right after the
+  //    buffer, holding live pointers.
+  auto *Rec = static_cast<LogRecord *>(Heap.allocate(sizeof(LogRecord)));
+  char *RawCopy = duplicateString(Url.c_str());
+  if (Buffer == nullptr || Rec == nullptr || RawCopy == nullptr) {
+    Heap.deallocate(Buffer);
+    Heap.deallocate(Rec);
+    Heap.deallocate(RawCopy);
+    return "500 Out Of Memory\n";
+  }
+  Rec->UrlCopy = RawCopy;
+  Rec->Status = 200;
+  Rec->Next = Log;
+  Log = Rec;
+  ++LogCount;
+  trimLog();
+
+  // 3. The unchecked copy: a URL longer than 64 bytes overflows the buffer
+  //    (and, under adjacent layouts, the log record and beyond).
+  if (Checked != nullptr)
+    Checked->strcpy(Buffer, Url.c_str()); // Clamped replacement.
+  else
+    std::strcpy(Buffer, Url.c_str()); // The bug.
+
+  // Canonicalize: lower-case scheme and host (up to the third '/').
+  int Slashes = 0;
+  for (char *P = Buffer; *P != '\0'; ++P) {
+    if (*P == '/') {
+      if (++Slashes == 3)
+        break;
+      continue;
+    }
+    if (*P >= 'A' && *P <= 'Z')
+      *P = static_cast<char>(*P - 'A' + 'a');
+  }
+
+  std::string Response;
+  if (CacheEntry *Hit = findEntry(Buffer)) {
+    Response = "200 HIT ";
+    Response.append(Hit->Payload, Hit->PayloadSize);
+    Response.push_back('\n');
+  } else {
+    std::string Payload = "doc(";
+    Payload += Buffer;
+    Payload += ")";
+    insertEntry(Buffer, Payload);
+    Response = "200 MISS ";
+    Response += Payload;
+    Response.push_back('\n');
+  }
+
+  // The stats walk that chases log-record pointers.
+  (void)summarizeRecentLog();
+
+  Heap.deallocate(Buffer);
+  return Response;
+}
+
+} // namespace diehard

@@ -1,0 +1,105 @@
+//===- workloads/MiniSquid.h - buggy caching-server case study --*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature web-cache server core reproducing the Squid 2.3s5 case study
+/// (Section 7.3): a parsing path copies a client-supplied string into a
+/// fixed-size heap buffer with an unchecked strcpy, so an ill-formed request
+/// overflows the heap.
+///
+/// All server state — cache entries, the access log, URL strings — lives in
+/// objects from the injected allocator, and the access-log record for a
+/// request is allocated immediately after the URL buffer and before the
+/// copy. Allocators that place consecutive allocations adjacently (the
+/// Lea-style baseline, the bump-allocating collector) therefore have live
+/// pointer data right where the overflow lands: the server crashes, exactly
+/// as the paper observed for Squid under both GNU libc and the BDW
+/// collector. DieHard's random placement masks the overflow with high
+/// probability, and the checked libc functions (Section 4.4) clamp it
+/// entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_MINISQUID_H
+#define DIEHARD_WORKLOADS_MINISQUID_H
+
+#include "baselines/Allocator.h"
+#include "core/CheckedLibc.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace diehard {
+
+/// The miniature caching server. Crashes under corruption are the point:
+/// run it behind a fork boundary (see ForkHarness.h) when feeding it
+/// ill-formed input.
+class MiniSquid {
+public:
+  /// Serves requests using \p Heap. If \p Checked is non-null, string
+  /// copies go through DieHard's checked libc functions.
+  explicit MiniSquid(Allocator &Heap, const CheckedLibc *Checked = nullptr);
+  ~MiniSquid();
+
+  /// Handles one request line of the form "GET <url>". URLs longer than
+  /// the 64-byte internal buffer trigger the overflow bug. \returns the
+  /// response text.
+  std::string handleRequest(const std::string &RequestLine);
+
+  /// Number of cache entries currently resident.
+  size_t cacheSize() const { return EntryCount; }
+
+  /// Number of access-log records currently retained.
+  size_t logSize() const { return LogCount; }
+
+  /// Total requests served (including cache hits).
+  size_t requestsServed() const { return Served; }
+
+private:
+  /// One cached document; lives in the injected heap.
+  struct CacheEntry {
+    char *Url;
+    char *Payload;
+    size_t PayloadSize;
+    CacheEntry *Next;
+  };
+
+  /// One access-log record; lives in the injected heap. The overflow in
+  /// canonicalizeUrl lands on the most recent record under sequentially
+  /// placing allocators.
+  struct LogRecord {
+    char *UrlCopy;    ///< Heap copy of the raw request URL.
+    uint32_t Status;  ///< HTTP-ish status code recorded for the request.
+    LogRecord *Next;
+  };
+
+  char *duplicateString(const char *Text);
+  CacheEntry *findEntry(const char *Url);
+  void insertEntry(const char *Url, const std::string &Payload);
+  void evictIfNeeded();
+  void trimLog();
+
+  /// Touches recent log records the way a stats endpoint would; this is
+  /// where clobbered pointers get dereferenced.
+  uint32_t summarizeRecentLog() const;
+
+  Allocator &Heap;
+  const CheckedLibc *Checked;
+  CacheEntry *Entries = nullptr;
+  size_t EntryCount = 0;
+  LogRecord *Log = nullptr;
+  size_t LogCount = 0;
+  size_t Served = 0;
+
+  static constexpr size_t UrlBufferSize = 64;
+  static constexpr size_t MaxEntries = 64;
+  static constexpr size_t MaxLogRecords = 128;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_MINISQUID_H

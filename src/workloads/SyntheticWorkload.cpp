@@ -1,0 +1,166 @@
+//===- workloads/SyntheticWorkload.cpp ------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SyntheticWorkload.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace diehard {
+
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &Params)
+    : Params(Params) {
+  assert(Params.MinSize > 0 && Params.MinSize <= Params.MaxSize &&
+         "degenerate size range");
+}
+
+size_t SyntheticWorkload::pickSize(Rng &Rand) const {
+  size_t Lo = Params.MinSize, Hi = Params.MaxSize;
+  switch (Params.Shape) {
+  case SizeShape::Fixed:
+    return Lo;
+  case SizeShape::Uniform:
+    return Lo + Rand.nextBounded(static_cast<uint32_t>(Hi - Lo + 1));
+  case SizeShape::SmallBiased: {
+    // Geometric: each doubling of size is half as likely.
+    size_t Size = Lo;
+    while (Size * 2 <= Hi && (Rand.next() & 1) == 0)
+      Size *= 2;
+    return std::min(Hi, Size + Rand.nextBounded(static_cast<uint32_t>(Size)));
+  }
+  case SizeShape::Bimodal:
+    // 1 in 32 allocations is a large spike; the rest are small.
+    if (Rand.nextBounded(32) == 0)
+      return Hi;
+    return Lo + Rand.nextBounded(
+                    static_cast<uint32_t>(std::min(Hi, Lo * 8) - Lo + 1));
+  case SizeShape::WideSpread: {
+    // Log-uniform: pick a power-of-two band, then a size inside it. This
+    // touches many size classes, reproducing 300.twolf's wide object mix.
+    int LoBits = 0, HiBits = 0;
+    for (size_t S = Lo; S > 1; S >>= 1)
+      ++LoBits;
+    for (size_t S = Hi; S > 1; S >>= 1)
+      ++HiBits;
+    int Bits = LoBits +
+               static_cast<int>(Rand.nextBounded(
+                   static_cast<uint32_t>(HiBits - LoBits + 1)));
+    size_t Base = size_t(1) << Bits;
+    size_t Limit = std::min(Hi, Base * 2 - 1);
+    size_t Start = std::max(Lo, Base);
+    return Start + Rand.nextBounded(
+                       static_cast<uint32_t>(Limit - Start + 1));
+  }
+  }
+  return Lo;
+}
+
+WorkloadResult SyntheticWorkload::run(Allocator &Target) {
+  WorkloadResult Result;
+  Rng Rand(Params.Seed);
+
+  struct LiveObject {
+    void *Ptr;
+    size_t Size;
+    uint32_t Tag; ///< What we wrote into it, for checksum verification.
+  };
+  std::vector<LiveObject> Live;
+  Live.reserve(Params.MaxLive);
+  // Collectors need to see the live table; for manual allocators this is a
+  // no-op. The vector never reallocates (reserved above), so registering
+  // its backing store once is sound.
+  Target.registerRootRange(Live.data(), Params.MaxLive * sizeof(LiveObject));
+
+  uint64_t Checksum = 0x9E3779B97F4A7C15ULL ^ Params.Seed;
+  volatile uint64_t ComputeSink = 0;
+
+  for (uint64_t Op = 0; Op < Params.MemoryOps; ++Op) {
+    // Synthetic computation between memory operations: this is what turns
+    // an allocation-intensive profile into a general-purpose one.
+    if (Params.ComputePerOp > 0) {
+      uint64_t Acc = Checksum + Op;
+      for (int I = 0; I < Params.ComputePerOp; ++I) {
+        Acc ^= Acc << 13;
+        Acc ^= Acc >> 7;
+        Acc ^= Acc << 17;
+      }
+      ComputeSink = Acc;
+    }
+
+    // Keep the live set hovering around MaxLive: allocate when below,
+    // free when at capacity, mix otherwise.
+    bool DoAlloc;
+    if (Live.empty())
+      DoAlloc = true;
+    else if (Live.size() >= Params.MaxLive)
+      DoAlloc = false;
+    else
+      DoAlloc = Rand.nextBounded(100) <
+                (Live.size() < Params.MaxLive / 2 ? 70 : 50);
+
+    if (DoAlloc) {
+      size_t Size = pickSize(Rand);
+      void *Ptr = Target.allocate(Size);
+      if (Ptr == nullptr) {
+        ++Result.FailedAllocations;
+        continue;
+      }
+      uint32_t Tag = Rand.next();
+      // Touch the object the way applications do: write a recognizable
+      // pattern at the front and a tag in the final bytes (programs use
+      // the whole extent they asked for — this is what makes the
+      // fault injector's under-allocation into a real overflow).
+      size_t Touch = std::min<size_t>(Size, Params.TouchBytes);
+      auto *Bytes = static_cast<unsigned char *>(Ptr);
+      for (size_t I = 0; I < Touch; ++I)
+        Bytes[I] = static_cast<unsigned char>(Tag >> ((I % 4) * 8));
+      if (Size >= Touch + 4)
+        for (size_t I = Size - 4; I < Size; ++I)
+          Bytes[I] = static_cast<unsigned char>(Tag >> ((I % 4) * 8));
+      Live.push_back(LiveObject{Ptr, Size, Tag});
+      Result.PeakLive = std::max(Result.PeakLive, Live.size());
+      ++Result.Allocations;
+      continue;
+    }
+
+    // Free a random live object, verifying the data we wrote survived.
+    uint32_t Victim = Rand.nextBounded(static_cast<uint32_t>(Live.size()));
+    LiveObject Obj = Live[Victim];
+    Live[Victim] = Live.back();
+    Live.pop_back();
+    size_t Touch = std::min<size_t>(Obj.Size, Params.TouchBytes);
+    const auto *Bytes = static_cast<const unsigned char *>(Obj.Ptr);
+    for (size_t I = 0; I < Touch; ++I)
+      Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    if (Obj.Size >= Touch + 4)
+      for (size_t I = Obj.Size - 4; I < Obj.Size; ++I)
+        Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    Target.deallocate(Obj.Ptr);
+    ++Result.Frees;
+  }
+
+  // Drain the live set so the run ends with an empty heap.
+  for (const LiveObject &Obj : Live) {
+    size_t Touch = std::min<size_t>(Obj.Size, Params.TouchBytes);
+    const auto *Bytes = static_cast<const unsigned char *>(Obj.Ptr);
+    for (size_t I = 0; I < Touch; ++I)
+      Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    if (Obj.Size >= Touch + 4)
+      for (size_t I = Obj.Size - 4; I < Obj.Size; ++I)
+        Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    Target.deallocate(Obj.Ptr);
+    ++Result.Frees;
+  }
+  Live.clear();
+  Target.unregisterRootRange(Live.data());
+
+  (void)ComputeSink;
+  Result.Checksum = Checksum;
+  return Result;
+}
+
+} // namespace diehard

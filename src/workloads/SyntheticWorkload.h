@@ -1,0 +1,82 @@
+//===- workloads/SyntheticWorkload.h - benchmark drivers --------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized synthetic workloads standing in for the paper's benchmark
+/// binaries (the allocation-intensive suite and SPECint2000, Section 7.1).
+/// Each driver reproduces a benchmark's allocation profile: rate of memory
+/// operations, object-size distribution, live-set size, and the ratio of
+/// computation to allocation. The drivers are deterministic given a seed
+/// and compute a checksum over data they wrote themselves, so any correct
+/// allocator yields the identical checksum — which doubles as an integration
+/// test of allocator correctness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_SYNTHETICWORKLOAD_H
+#define DIEHARD_WORKLOADS_SYNTHETICWORKLOAD_H
+
+#include "baselines/Allocator.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diehard {
+
+/// Object-size distribution shapes seen across the benchmark suites.
+enum class SizeShape {
+  Uniform,     ///< Uniform in [MinSize, MaxSize].
+  SmallBiased, ///< Geometric bias toward MinSize (cfrac-like).
+  Bimodal,     ///< Mostly small with occasional MaxSize spikes (gcc-like).
+  Fixed,       ///< Always MinSize (roboop-like fixed temporaries).
+  WideSpread,  ///< Log-uniform across the full range (twolf-like; stresses
+               ///< many size classes, the paper's TLB-miss case).
+};
+
+/// Parameters describing one benchmark's allocation profile.
+struct WorkloadParams {
+  std::string Name;
+  uint64_t MemoryOps = 100000; ///< Total allocate+free operations.
+  size_t MinSize = 8;
+  size_t MaxSize = 256;
+  SizeShape Shape = SizeShape::Uniform;
+  size_t MaxLive = 4096;   ///< Live-object target (steady state).
+  int ComputePerOp = 0;    ///< Synthetic compute units between memory ops.
+  int TouchBytes = 16;     ///< Bytes written (then read) per object.
+  uint64_t Seed = 0x5EED;  ///< Drives all workload decisions.
+};
+
+/// What a workload run produced.
+struct WorkloadResult {
+  uint64_t Checksum = 0;   ///< Allocator-independent data checksum.
+  uint64_t Allocations = 0;
+  uint64_t Frees = 0;
+  uint64_t FailedAllocations = 0;
+  size_t PeakLive = 0;
+};
+
+/// Runs one deterministic allocation workload against any allocator.
+class SyntheticWorkload {
+public:
+  explicit SyntheticWorkload(const WorkloadParams &Params);
+
+  /// Executes the workload on \p Target. Live-object bookkeeping is
+  /// registered as a GC root range so collectors see the true live set.
+  WorkloadResult run(Allocator &Target);
+
+  const WorkloadParams &params() const { return Params; }
+
+private:
+  size_t pickSize(Rng &Rand) const;
+
+  WorkloadParams Params;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_SYNTHETICWORKLOAD_H

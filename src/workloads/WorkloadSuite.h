@@ -1,0 +1,37 @@
+//===- workloads/WorkloadSuite.h - benchmark suite presets ------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Preset allocation profiles for the two benchmark suites of Section 7.1:
+/// the allocation-intensive suite (cfrac, espresso, lindsay, p2c, roboop —
+/// 100K to 1.7M memory operations per second) and a general-purpose
+/// SPECint2000-like suite, where allocation is a small fraction of the work
+/// (253.perlbmk, at ~12.5% memory operations, and 300.twolf, with its wide
+/// size mix, are the interesting outliers the paper calls out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_WORKLOADSUITE_H
+#define DIEHARD_WORKLOADS_WORKLOADSUITE_H
+
+#include "workloads/SyntheticWorkload.h"
+
+#include <vector>
+
+namespace diehard {
+
+/// The allocation-intensive suite (cfrac, espresso, lindsay, p2c, roboop).
+std::vector<WorkloadParams> allocationIntensiveSuite(uint64_t OpsScale = 1);
+
+/// The general-purpose SPECint2000-like suite (gzip .. twolf).
+std::vector<WorkloadParams> generalPurposeSuite(uint64_t OpsScale = 1);
+
+/// Finds a preset by name across both suites; asserts if absent.
+WorkloadParams findWorkload(const std::string &Name, uint64_t OpsScale = 1);
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_WORKLOADSUITE_H

@@ -1,0 +1,149 @@
+//===- tests/analysis/ProbabilityTest.cpp ---------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Probability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace diehard {
+namespace {
+
+// The paper's own worked numbers are the ground truth here.
+
+TEST(Theorem1Test, PaperExampleOneEighthFull) {
+  // "When the heap is no more than 1/8 full, DieHard in stand-alone mode
+  // provides an 87.5% chance of masking a single-object overflow."
+  EXPECT_NEAR(maskOverflowProbability(7.0 / 8.0, 1, 1), 0.875, 1e-9);
+}
+
+TEST(Theorem1Test, PaperExampleThreeReplicas) {
+  // "...while three replicas avoids such errors with greater than 99%
+  // probability."
+  EXPECT_GT(maskOverflowProbability(7.0 / 8.0, 1, 3), 0.99);
+}
+
+TEST(Theorem1Test, HalfFullSingleReplica) {
+  EXPECT_NEAR(maskOverflowProbability(0.5, 1, 1), 0.5, 1e-9);
+  EXPECT_NEAR(maskOverflowProbability(0.5, 2, 1), 0.25, 1e-9);
+}
+
+TEST(Theorem1Test, MoreReplicasNeverHurt) {
+  for (double F : {0.5, 0.75, 0.875}) {
+    double Prev = maskOverflowProbability(F, 2, 1);
+    for (int K : {3, 4, 5, 6}) {
+      double P = maskOverflowProbability(F, 2, K);
+      EXPECT_GE(P, Prev) << "F=" << F << " k=" << K;
+      Prev = P;
+    }
+  }
+}
+
+TEST(Theorem1Test, BiggerOverflowsAreWorse) {
+  for (int O = 1; O < 10; ++O)
+    EXPECT_GT(maskOverflowProbability(0.875, O, 1),
+              maskOverflowProbability(0.875, O + 1, 1));
+}
+
+TEST(Theorem1Test, DegenerateCases) {
+  EXPECT_NEAR(maskOverflowProbability(1.0, 5, 1), 1.0, 1e-12)
+      << "an empty heap masks everything";
+  EXPECT_NEAR(maskOverflowProbability(0.875, 0, 1), 1.0, 1e-12)
+      << "a zero-length overflow is always masked";
+  EXPECT_NEAR(maskOverflowProbability(0.0, 1, 3), 0.0, 1e-12)
+      << "a full heap masks nothing";
+}
+
+TEST(Theorem2Test, PaperExampleSmallObject) {
+  // "The stand-alone version of DieHard has greater than a 99.5% chance of
+  // masking an 8-byte object that was freed 10,000 allocations too soon"
+  // (default configuration: 384MB heap, M=2 -> F = 16MB per class region
+  // with half free; the paper's default yields F/S >> 10000).
+  // Default config: per-class partition 32MB, half available -> F = 16MB.
+  size_t FreeBytes = 16 * 1024 * 1024;
+  EXPECT_GT(maskDanglingProbability(FreeBytes, 8, 10000, 1), 0.995);
+}
+
+TEST(Theorem2Test, SmallerObjectsAreSafer) {
+  size_t FreeBytes = 1 << 20;
+  for (size_t S = 8; S <= 128; S *= 2)
+    EXPECT_GT(maskDanglingProbability(FreeBytes, S, 1000, 1),
+              maskDanglingProbability(FreeBytes, 2 * S, 1000, 1));
+}
+
+TEST(Theorem2Test, MoreInterveningAllocationsAreWorse) {
+  size_t FreeBytes = 1 << 20;
+  EXPECT_GT(maskDanglingProbability(FreeBytes, 64, 100, 1),
+            maskDanglingProbability(FreeBytes, 64, 1000, 1));
+  EXPECT_GT(maskDanglingProbability(FreeBytes, 64, 1000, 1),
+            maskDanglingProbability(FreeBytes, 64, 10000, 1));
+}
+
+TEST(Theorem2Test, ReplicasImproveMasking) {
+  size_t FreeBytes = 1 << 18;
+  double K1 = maskDanglingProbability(FreeBytes, 256, 500, 1);
+  double K3 = maskDanglingProbability(FreeBytes, 256, 500, 3);
+  EXPECT_GT(K3, K1);
+}
+
+TEST(Theorem2Test, BeyondValidityRangeIsZero) {
+  EXPECT_EQ(maskDanglingProbability(1024, 8, 1 << 20, 1), 0.0);
+}
+
+TEST(Theorem3Test, PaperExampleFourBits) {
+  // "The probability of detecting an uninitialized read of four bits across
+  // three replicas is 82%, while for four replicas, it drops to 66.7%."
+  EXPECT_NEAR(detectUninitReadProbability(4, 3), 0.8203, 5e-4);
+  EXPECT_NEAR(detectUninitReadProbability(4, 4), 0.6665, 5e-3);
+}
+
+TEST(Theorem3Test, PaperExampleSixteenBits) {
+  // "The odds of detecting an uninitialized read of 16 bits drops from
+  // 99.995% for three replicas to 99.99% for four replicas."
+  EXPECT_NEAR(detectUninitReadProbability(16, 3), 0.99995, 5e-5);
+  EXPECT_NEAR(detectUninitReadProbability(16, 4), 0.9999, 5e-5);
+}
+
+TEST(Theorem3Test, ExtraReplicasLowerDetectionSlightly) {
+  // The paper's counterintuitive observation: replicas lower the likelihood
+  // of detecting a *fixed-width* uninitialized read.
+  for (int B : {2, 4, 8}) {
+    double Prev = detectUninitReadProbability(B, 3);
+    // Stop before the pigeonhole boundary (k > 2^B pins P to zero).
+    for (int K = 4; K <= 6 && K <= (1 << B); ++K) {
+      double P = detectUninitReadProbability(B, K);
+      EXPECT_LT(P, Prev) << "B=" << B << " k=" << K;
+      Prev = P;
+    }
+  }
+}
+
+TEST(Theorem3Test, WiderReadsAreCaughtMoreOften) {
+  for (int B = 1; B < 20; ++B)
+    EXPECT_LT(detectUninitReadProbability(B, 3),
+              detectUninitReadProbability(B + 1, 3));
+}
+
+TEST(Theorem3Test, PigeonholeGivesZero) {
+  // 1-bit reads across 3 replicas: only two values exist, two replicas must
+  // agree, detection is impossible.
+  EXPECT_EQ(detectUninitReadProbability(1, 3), 0.0);
+}
+
+TEST(ExpectedProbesTest, PaperExampleMTwo) {
+  // "For M = 2, the expected number of probes is two."
+  EXPECT_NEAR(expectedProbes(2.0), 2.0, 1e-12);
+}
+
+TEST(ExpectedProbesTest, LargerHeapsProbeLess) {
+  EXPECT_GT(expectedProbes(1.5), expectedProbes(2.0));
+  EXPECT_GT(expectedProbes(2.0), expectedProbes(4.0));
+  EXPECT_NEAR(expectedProbes(1e9), 1.0, 1e-6);
+}
+
+} // namespace
+} // namespace diehard

@@ -1,0 +1,182 @@
+//===- tests/apps/BignumTest.cpp ------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Bignum.h"
+
+#include "baselines/DieHardAllocator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+namespace diehard {
+namespace {
+
+class BignumTest : public ::testing::Test {
+protected:
+  BignumTest() : Heap(makeOptions()) {}
+
+  static DieHardOptions makeOptions() {
+    DieHardOptions O;
+    O.HeapSize = 48 * 1024 * 1024;
+    O.Seed = 0xB16;
+    return O;
+  }
+
+  DieHardAllocator Heap;
+};
+
+TEST_F(BignumTest, ZeroAndSmallValues) {
+  Bignum Zero(Heap);
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.toDecimal(), "0");
+  EXPECT_EQ(Zero.low64(), 0u);
+
+  Bignum Small(Heap, 12345);
+  EXPECT_FALSE(Small.isZero());
+  EXPECT_EQ(Small.toDecimal(), "12345");
+  EXPECT_EQ(Small.low64(), 12345u);
+}
+
+TEST_F(BignumTest, Full64BitValues) {
+  Bignum Big(Heap, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(Big.toDecimal(), "18446744073709551615");
+  EXPECT_EQ(Big.low64(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(Big.digitCount(), 2u);
+}
+
+TEST_F(BignumTest, AdditionMatchesUint64) {
+  Rng Rand(1);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t A = Rand.next64() >> 2, B = Rand.next64() >> 2;
+    Bignum X(Heap, A);
+    Bignum Y(Heap, B);
+    X.add(Y);
+    EXPECT_EQ(X.low64(), A + B);
+  }
+}
+
+TEST_F(BignumTest, AdditionCarriesBeyond64Bits) {
+  Bignum X(Heap, 0xFFFFFFFFFFFFFFFFULL);
+  Bignum One(Heap, 1);
+  X.add(One);
+  EXPECT_EQ(X.toDecimal(), "18446744073709551616");
+  EXPECT_EQ(X.digitCount(), 3u);
+}
+
+TEST_F(BignumTest, SubtractionMatchesUint64) {
+  Rng Rand(2);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t A = Rand.next64(), B = Rand.next64();
+    if (A < B)
+      std::swap(A, B);
+    Bignum X(Heap, A);
+    Bignum Y(Heap, B);
+    X.subtract(Y);
+    EXPECT_EQ(X.low64(), A - B);
+  }
+}
+
+TEST_F(BignumTest, SubtractToZero) {
+  Bignum X(Heap, 777);
+  Bignum Y(Heap, 777);
+  X.subtract(Y);
+  EXPECT_TRUE(X.isZero());
+}
+
+TEST_F(BignumTest, MultiplySmallMatchesUint64) {
+  Rng Rand(3);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t A = Rand.next();
+    uint32_t B = Rand.next();
+    Bignum X(Heap, A);
+    X.multiplySmall(B);
+    EXPECT_EQ(X.low64(), A * B);
+  }
+}
+
+TEST_F(BignumTest, MultiplyByZeroGivesZero) {
+  Bignum X(Heap, 987654321);
+  X.multiplySmall(0);
+  EXPECT_TRUE(X.isZero());
+}
+
+TEST_F(BignumTest, DivideSmallMatchesUint64) {
+  Rng Rand(4);
+  for (int I = 0; I < 500; ++I) {
+    uint64_t A = Rand.next64();
+    uint32_t B = 1 + Rand.next();
+    if (B == 0)
+      B = 7;
+    Bignum X(Heap, A);
+    uint32_t Remainder = X.divideSmall(B);
+    EXPECT_EQ(X.low64(), A / B);
+    EXPECT_EQ(Remainder, A % B);
+  }
+}
+
+TEST_F(BignumTest, GrowShrinkRoundTrip) {
+  // (x * k + r) then divide by k recovers x and r across many digits.
+  Bignum X(Heap, 1);
+  for (uint32_t K = 2; K < 50; ++K)
+    X.multiplySmall(K); // 49! ≈ 2^204: many digits.
+  Bignum Copy(X);
+  Copy.multiplySmall(97);
+  Bignum R(Heap, 13);
+  Copy.add(R);
+  uint32_t Rem = Copy.divideSmall(97);
+  EXPECT_EQ(Rem, 13u);
+  EXPECT_EQ(Copy.compare(X), 0);
+}
+
+TEST_F(BignumTest, CompareOrdersCorrectly) {
+  Bignum A(Heap, 5), B(Heap, 9);
+  EXPECT_LT(A.compare(B), 0);
+  EXPECT_GT(B.compare(A), 0);
+  EXPECT_EQ(A.compare(A), 0);
+  Bignum Huge(Heap, 1);
+  Huge.multiplySmall(0xFFFFFFFF);
+  Huge.multiplySmall(0xFFFFFFFF);
+  EXPECT_GT(Huge.compare(B), 0);
+}
+
+TEST_F(BignumTest, FactorialKnownValue) {
+  Bignum F(Heap, 1);
+  for (uint32_t K = 2; K <= 20; ++K)
+    F.multiplySmall(K);
+  EXPECT_EQ(F.toDecimal(), "2432902008176640000"); // 20!
+  for (uint32_t K = 21; K <= 25; ++K)
+    F.multiplySmall(K);
+  EXPECT_EQ(F.toDecimal(), "15511210043330985984000000"); // 25!
+}
+
+TEST_F(BignumTest, CopyAndMoveSemantics) {
+  Bignum A(Heap, 424242);
+  Bignum B(A); // Copy.
+  EXPECT_EQ(A.compare(B), 0);
+  Bignum C(std::move(A));
+  EXPECT_EQ(C.toDecimal(), "424242");
+  B = C; // Copy assign.
+  EXPECT_EQ(B.compare(C), 0);
+  Bignum D(Heap);
+  D = std::move(C);
+  EXPECT_EQ(D.toDecimal(), "424242");
+}
+
+TEST_F(BignumTest, NoLeaksAcrossHeavyChurn) {
+  {
+    Bignum F(Heap, 1);
+    for (uint32_t K = 2; K <= 300; ++K) {
+      F.multiplySmall(K);
+      Bignum Copy(F);
+      Copy.divideSmall(3);
+    }
+  }
+  EXPECT_EQ(Heap.heap().bytesLive(), 0u)
+      << "all digit arrays must be returned";
+}
+
+} // namespace
+} // namespace diehard

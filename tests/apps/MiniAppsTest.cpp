@@ -1,0 +1,178 @@
+//===- tests/apps/MiniAppsTest.cpp ----------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniCfrac.h"
+#include "apps/MiniLindsay.h"
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "core/DieHardHeap.h"
+#include "replication/Replication.h"
+
+#include <gtest/gtest.h>
+
+namespace diehard {
+namespace {
+
+DieHardOptions appHeap(uint64_t Seed = 0xA995) {
+  DieHardOptions O;
+  O.HeapSize = 96 * 1024 * 1024;
+  O.Seed = Seed;
+  return O;
+}
+
+// --- MiniCfrac ---
+
+TEST(MiniCfracTest, GoldenRatioConvergentsAreFibonacci) {
+  // [1; 1, 1, 1, ...] has convergents F(k+1)/F(k).
+  DieHardAllocator Heap(appHeap());
+  std::vector<uint32_t> Ones(20, 1);
+  Convergent C = foldConvergent(Heap, Ones);
+  EXPECT_EQ(C.P.toDecimal(), "10946"); // F(21).
+  EXPECT_EQ(C.Q.toDecimal(), "6765");  // F(20).
+}
+
+TEST(MiniCfracTest, Sqrt2ExpansionIsPeriodic) {
+  // sqrt(2) = [1; 2, 2, 2, ...].
+  std::vector<uint32_t> Terms = sqrtContinuedFraction(2, 10);
+  EXPECT_EQ(Terms[0], 1u);
+  for (size_t K = 1; K < Terms.size(); ++K)
+    EXPECT_EQ(Terms[K], 2u) << K;
+}
+
+TEST(MiniCfracTest, Sqrt23ExpansionMatchesKnownPeriod) {
+  // sqrt(23) = [4; 1, 3, 1, 8, 1, 3, 1, 8, ...].
+  std::vector<uint32_t> Terms = sqrtContinuedFraction(23, 9);
+  const uint32_t Expected[] = {4, 1, 3, 1, 8, 1, 3, 1, 8};
+  for (size_t K = 0; K < 9; ++K)
+    EXPECT_EQ(Terms[K], Expected[K]) << K;
+}
+
+TEST(MiniCfracTest, PerfectSquareTerminates) {
+  std::vector<uint32_t> Terms = sqrtContinuedFraction(49, 5);
+  EXPECT_EQ(Terms[0], 7u);
+}
+
+TEST(MiniCfracTest, PellEquationHoldsForConvergents) {
+  // For sqrt(N), convergents at the period satisfy p^2 - N q^2 = ±1
+  // (Pell). Check p^2 - 2 q^2 = ±1 for sqrt(2) prefixes.
+  DieHardAllocator Heap(appHeap());
+  for (int Len : {2, 3, 4, 5, 6, 7, 8}) {
+    std::vector<uint32_t> Terms = sqrtContinuedFraction(2, Len);
+    Convergent C = foldConvergent(Heap, Terms);
+    uint64_t P = C.P.low64(), Q = C.Q.low64();
+    // |p^2 - 2 q^2| == 1 for every convergent of sqrt(2).
+    int64_t Residue = static_cast<int64_t>(P * P) -
+                      2 * static_cast<int64_t>(Q * Q);
+    EXPECT_TRUE(Residue == 1 || Residue == -1)
+        << "length " << Len << " residue " << Residue;
+  }
+}
+
+TEST(MiniCfracTest, WorkloadChecksumAllocatorIndependent) {
+  DieHardAllocator A(appHeap(1));
+  DieHardAllocator B(appHeap(999));
+  LeaAllocator Lea(128 << 20);
+  SystemAllocator System;
+  uint64_t Reference = runCfracWorkload(System, 20, 120, 0xC0FFEE);
+  EXPECT_EQ(runCfracWorkload(A, 20, 120, 0xC0FFEE), Reference);
+  EXPECT_EQ(runCfracWorkload(B, 20, 120, 0xC0FFEE), Reference);
+  EXPECT_EQ(runCfracWorkload(Lea, 20, 120, 0xC0FFEE), Reference);
+}
+
+TEST(MiniCfracTest, WorkloadLeavesHeapEmpty) {
+  DieHardAllocator Heap(appHeap());
+  runCfracWorkload(Heap, 10, 80, 0x5EED);
+  EXPECT_EQ(Heap.heap().bytesLive(), 0u);
+  EXPECT_GT(Heap.heap().stats().Allocations, 1000u)
+      << "the driver must actually churn";
+}
+
+// --- MiniLindsay ---
+
+TEST(MiniLindsayTest, DeliversEveryMessage) {
+  DieHardAllocator Heap(appHeap());
+  LindsayConfig Config;
+  Config.Messages = 500;
+  LindsayResult R = runLindsay(Heap, Config);
+  EXPECT_EQ(R.MessagesDelivered, 500u);
+  // Hops bounded by messages * (dimensions + 1) including delivery hop.
+  EXPECT_LE(R.TotalHops,
+            500u * static_cast<uint64_t>(Config.Dimensions + 1));
+  EXPECT_GE(R.TotalHops, 500u);
+  EXPECT_EQ(Heap.heap().bytesLive(), 0u);
+}
+
+TEST(MiniLindsayTest, CorrectModeIsAllocatorIndependent) {
+  LindsayConfig Config;
+  Config.Messages = 800;
+  DieHardAllocator A(appHeap(7));
+  DieHardAllocator B(appHeap(77));
+  SystemAllocator System;
+  uint64_t Reference = runLindsay(System, Config).RoutingSummary;
+  EXPECT_EQ(runLindsay(A, Config).RoutingSummary, Reference);
+  EXPECT_EQ(runLindsay(B, Config).RoutingSummary, Reference);
+}
+
+TEST(MiniLindsayTest, BuggyModeDivergesAcrossRandomFillHeaps) {
+  // With replicated-mode heaps (random object fill), the uninitialized
+  // Priority read yields different summaries under different seeds.
+  LindsayConfig Config;
+  Config.Messages = 200;
+  Config.BuggyUninitRead = true;
+  DieHardOptions OA = appHeap(100), OB = appHeap(200);
+  OA.RandomFillObjects = OB.RandomFillObjects = true;
+  DieHardAllocator A(OA), B(OB);
+  EXPECT_NE(runLindsay(A, Config).RoutingSummary,
+            runLindsay(B, Config).RoutingSummary);
+}
+
+TEST(MiniLindsayTest, ReplicatedVoterCatchesTheLindsayBug) {
+  // The paper's Section 7.2.3 anecdote end-to-end: replicated DieHard
+  // detects lindsay's uninitialized read and terminates.
+  ReplicationOptions RO;
+  RO.Replicas = 3;
+  RO.MasterSeed = 0x11D5;
+  RO.HeapSize = 48 * 1024 * 1024;
+  ReplicaManager Manager(RO);
+
+  auto Body = [](bool Buggy) {
+    return [Buggy](ReplicaContext &Ctx) {
+      DieHardHeap Heap(Ctx.heapOptions());
+      class HeapAdapter final : public Allocator {
+      public:
+        explicit HeapAdapter(DieHardHeap &H) : H(H) {}
+        void *allocate(size_t Size) override { return H.allocate(Size); }
+        void deallocate(void *Ptr) override { H.deallocate(Ptr); }
+        const char *getName() const override { return "lindsay"; }
+
+      private:
+        DieHardHeap &H;
+      } Adapter(Heap);
+      LindsayConfig Config;
+      Config.Messages = 300;
+      Config.BuggyUninitRead = Buggy;
+      LindsayResult R = runLindsay(Adapter, Config);
+      char Line[32];
+      int N = std::snprintf(Line, sizeof(Line), "%016llx\n",
+                            static_cast<unsigned long long>(
+                                R.RoutingSummary));
+      Ctx.write(Line, static_cast<size_t>(N));
+      return 0;
+    };
+  };
+
+  ReplicationResult Correct = Manager.run(Body(false), "");
+  EXPECT_TRUE(Correct.Success) << "fixed lindsay agrees";
+
+  ReplicationResult Buggy = Manager.run(Body(true), "");
+  EXPECT_FALSE(Buggy.Success);
+  EXPECT_TRUE(Buggy.UninitReadDetected)
+      << "replicated DieHard must catch lindsay's uninitialized read";
+}
+
+} // namespace
+} // namespace diehard

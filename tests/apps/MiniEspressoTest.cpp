@@ -1,0 +1,143 @@
+//===- tests/apps/MiniEspressoTest.cpp ------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/MiniEspresso.h"
+
+#include "baselines/DieHardAllocator.h"
+#include "baselines/LeaAllocator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+namespace diehard {
+namespace {
+
+DieHardOptions espressoHeap(uint64_t Seed = 0xE59) {
+  DieHardOptions O;
+  O.HeapSize = 48 * 1024 * 1024;
+  O.Seed = Seed;
+  return O;
+}
+
+TEST(MiniEspressoTest, SingleVariableFullCoverCollapses) {
+  // ON-set {0, 1} over one variable is the constant-true function: the
+  // two minterm cubes must merge into one don't-care cube.
+  DieHardAllocator Heap(espressoHeap());
+  Cover C(Heap, 1);
+  C.addMinterm(0);
+  C.addMinterm(1);
+  C.minimize();
+  EXPECT_EQ(C.cubeCount(), 1u);
+  EXPECT_TRUE(C.evaluate(0));
+  EXPECT_TRUE(C.evaluate(1));
+}
+
+TEST(MiniEspressoTest, ProjectionMinimizesToOneCube) {
+  // f(x2,x1,x0) = x0: the four minterms with x0=1 collapse to one cube.
+  DieHardAllocator Heap(espressoHeap());
+  Cover C(Heap, 3);
+  for (uint32_t M = 0; M < 8; ++M)
+    if (M & 1)
+      C.addMinterm(M);
+  C.minimize();
+  EXPECT_EQ(C.cubeCount(), 1u);
+  for (uint32_t M = 0; M < 8; ++M)
+    EXPECT_EQ(C.evaluate(M), (M & 1) != 0) << M;
+}
+
+TEST(MiniEspressoTest, XorCannotMinimizeBelowTwoCubes) {
+  // f(x1,x0) = x1 xor x0 has minimum two-level cover size 2.
+  DieHardAllocator Heap(espressoHeap());
+  Cover C(Heap, 2);
+  C.addMinterm(0b01);
+  C.addMinterm(0b10);
+  C.minimize();
+  EXPECT_EQ(C.cubeCount(), 2u);
+  EXPECT_FALSE(C.evaluate(0b00));
+  EXPECT_TRUE(C.evaluate(0b01));
+  EXPECT_TRUE(C.evaluate(0b10));
+  EXPECT_FALSE(C.evaluate(0b11));
+}
+
+TEST(MiniEspressoTest, DuplicatesAndContainmentRemoved) {
+  DieHardAllocator Heap(espressoHeap());
+  Cover C(Heap, 4);
+  C.addMinterm(5);
+  C.addMinterm(5); // Duplicate.
+  // A cube covering minterm 5 (don't-care everywhere): subsumes both.
+  C.addCube(0xFF);
+  C.minimize();
+  EXPECT_EQ(C.cubeCount(), 1u);
+  for (uint32_t M = 0; M < 16; ++M)
+    EXPECT_TRUE(C.evaluate(M));
+}
+
+TEST(MiniEspressoTest, FullDomainCollapsesToOneCube) {
+  // All 2^4 minterms = constant true: Quine-McCluskey reduces to the
+  // universal cube through repeated adjacency merges.
+  DieHardAllocator Heap(espressoHeap());
+  Cover C(Heap, 4);
+  for (uint32_t M = 0; M < 16; ++M)
+    C.addMinterm(M);
+  C.minimize();
+  EXPECT_EQ(C.cubeCount(), 1u);
+}
+
+TEST(MiniEspressoTest, MinimizationPreservesRandomFunctions) {
+  DieHardAllocator Heap(espressoHeap());
+  Rng Rand(42);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    int Vars = 2 + static_cast<int>(Rand.nextBounded(5)); // 2..6.
+    uint32_t Domain = uint32_t(1) << Vars;
+    Cover C(Heap, Vars);
+    std::vector<bool> OnSet(Domain, false);
+    uint32_t Minterms = 1 + Rand.nextBounded(Domain);
+    for (uint32_t M = 0; M < Minterms; ++M) {
+      uint32_t Pick = Rand.nextBounded(Domain);
+      OnSet[Pick] = true;
+      C.addMinterm(Pick);
+    }
+    size_t Before = C.cubeCount();
+    C.minimize();
+    EXPECT_LE(C.cubeCount(), Before);
+    for (uint32_t M = 0; M < Domain; ++M)
+      ASSERT_EQ(C.evaluate(M), static_cast<bool>(OnSet[M]))
+          << "trial " << Trial << " minterm " << M;
+  }
+}
+
+TEST(MiniEspressoTest, CubesAreFreedOnDestruction) {
+  DieHardAllocator Heap(espressoHeap());
+  {
+    Cover C(Heap, 8);
+    for (uint32_t M = 0; M < 200; ++M)
+      C.addMinterm(M & 0xFF);
+    C.minimize();
+  }
+  EXPECT_EQ(Heap.heap().bytesLive(), 0u);
+}
+
+TEST(MiniEspressoTest, WorkloadChecksumAllocatorIndependent) {
+  DieHardAllocator A(espressoHeap(1)), B(espressoHeap(2));
+  LeaAllocator Lea(64 << 20);
+  SystemAllocator System;
+  uint64_t Reference = runEspressoWorkload(System, 30, 8, 40, 0xE5);
+  ASSERT_NE(Reference, 0u) << "verification inside the workload failed";
+  EXPECT_EQ(runEspressoWorkload(A, 30, 8, 40, 0xE5), Reference);
+  EXPECT_EQ(runEspressoWorkload(B, 30, 8, 40, 0xE5), Reference);
+  EXPECT_EQ(runEspressoWorkload(Lea, 30, 8, 40, 0xE5), Reference);
+}
+
+TEST(MiniEspressoTest, WorkloadChurnsTheAllocator) {
+  DieHardAllocator Heap(espressoHeap());
+  runEspressoWorkload(Heap, 20, 8, 60, 0x11);
+  // 20 functions x 60 minterms, plus merge-created cubes: > 1200 cubes.
+  EXPECT_GT(Heap.heap().stats().Allocations, 1200u);
+  EXPECT_EQ(Heap.heap().bytesLive(), 0u);
+}
+
+} // namespace
+} // namespace diehard

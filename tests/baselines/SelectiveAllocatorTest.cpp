@@ -1,0 +1,107 @@
+//===- tests/baselines/SelectiveAllocatorTest.cpp -------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/SelectiveAllocator.h"
+
+#include "workloads/SyntheticWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace diehard {
+namespace {
+
+DieHardOptions smallHeap() {
+  DieHardOptions O;
+  O.HeapSize = 48 * 1024 * 1024;
+  O.Seed = 0x5E1;
+  return O;
+}
+
+TEST(SelectiveAllocatorTest, MaskRoutesClasses) {
+  // Protect classes 0..5 (8..256 bytes); larger small objects fall back.
+  SelectiveAllocator A(0x3F, smallHeap(), 64 << 20);
+  void *Small = A.allocate(64);
+  void *Big = A.allocate(4096);
+  ASSERT_NE(Small, nullptr);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_TRUE(A.heap().isInHeap(Small));
+  EXPECT_FALSE(A.heap().isInHeap(Big));
+  EXPECT_TRUE(A.fallback().isInArena(Big));
+  A.deallocate(Small);
+  A.deallocate(Big);
+}
+
+TEST(SelectiveAllocatorTest, IsProtectedQuery) {
+  SelectiveAllocator A(0x3F, smallHeap());
+  EXPECT_TRUE(A.isProtected(8));
+  EXPECT_TRUE(A.isProtected(256));
+  EXPECT_FALSE(A.isProtected(257));
+  EXPECT_FALSE(A.isProtected(16384));
+  EXPECT_TRUE(A.isProtected(100000)) << "large objects keep guard pages";
+}
+
+TEST(SelectiveAllocatorTest, FullMaskEqualsDieHardEverywhere) {
+  SelectiveAllocator A(~uint32_t(0), smallHeap());
+  for (size_t Size : {8u, 100u, 1000u, 16384u}) {
+    void *P = A.allocate(Size);
+    ASSERT_NE(P, nullptr);
+    EXPECT_TRUE(A.heap().isInHeap(P)) << Size;
+    A.deallocate(P);
+  }
+}
+
+TEST(SelectiveAllocatorTest, ProtectedClassIgnoresDoubleFree) {
+  SelectiveAllocator A(0x3F, smallHeap());
+  void *P = A.allocate(64);
+  A.deallocate(P);
+  A.deallocate(P); // DieHard side: ignored, no corruption.
+  void *X = A.allocate(64);
+  void *Y = A.allocate(64);
+  EXPECT_NE(X, Y);
+  A.deallocate(X);
+  A.deallocate(Y);
+}
+
+TEST(SelectiveAllocatorTest, FallbackIntegrityUnderCorrectUsage) {
+  SelectiveAllocator A(0x0F, smallHeap(), 64 << 20);
+  std::vector<void *> Held;
+  for (int I = 0; I < 500; ++I) {
+    void *P = A.allocate(512 + (I % 512)); // All unprotected.
+    ASSERT_NE(P, nullptr);
+    Held.push_back(P);
+  }
+  for (void *P : Held)
+    A.deallocate(P);
+  EXPECT_TRUE(A.fallback().checkHeapIntegrity());
+}
+
+TEST(SelectiveAllocatorTest, WorkloadChecksumMatchesSystem) {
+  SelectiveAllocator A(0x3F, smallHeap(), 256 << 20);
+  WorkloadParams P;
+  P.Name = "sel";
+  P.MemoryOps = 30000;
+  P.MinSize = 8;
+  P.MaxSize = 2048;
+  P.MaxLive = 800;
+  P.Seed = 3;
+  SyntheticWorkload W(P);
+  uint64_t Selective = W.run(A).Checksum;
+  SystemAllocator System;
+  EXPECT_EQ(Selective, W.run(System).Checksum);
+}
+
+TEST(SelectiveAllocatorTest, ForeignFreeIgnored) {
+  SelectiveAllocator A(0x3F, smallHeap());
+  int Stack;
+  A.deallocate(&Stack);
+  A.deallocate(nullptr);
+  EXPECT_GE(A.heap().stats().IgnoredFrees, 0u); // No crash is the test.
+}
+
+} // namespace
+} // namespace diehard

@@ -1,0 +1,230 @@
+//===- tests/core/AdaptiveHeapTest.cpp ------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AdaptiveHeap.h"
+
+#include "baselines/AdaptiveAllocator.h"
+#include "support/Rng.h"
+#include "workloads/SyntheticWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+AdaptiveOptions testOptions(double M = 2.0, uint64_t Seed = 7,
+                            size_t InitialSlots = 64) {
+  AdaptiveOptions O;
+  O.M = M;
+  O.Seed = Seed;
+  O.InitialSlotsPerClass = InitialSlots;
+  return O;
+}
+
+TEST(AdaptiveHeapTest, StartsEmptyAndUnreserved) {
+  AdaptiveDieHardHeap H(testOptions());
+  EXPECT_EQ(H.reservedBytes(), 0u);
+  for (int C = 0; C < SizeClass::NumClasses; ++C) {
+    EXPECT_EQ(H.capacityOfClass(C), 0u);
+    EXPECT_EQ(H.liveInClass(C), 0u);
+  }
+}
+
+TEST(AdaptiveHeapTest, FirstAllocationInstallsRegion) {
+  AdaptiveDieHardHeap H(testOptions());
+  void *P = H.allocate(64);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(H.capacityOfClass(SizeClass::sizeToClass(64)), 64u);
+  EXPECT_GT(H.reservedBytes(), 0u);
+  EXPECT_EQ(H.stats().Growths, 1u);
+  H.deallocate(P);
+}
+
+TEST(AdaptiveHeapTest, GrowthDoublesCapacity) {
+  AdaptiveDieHardHeap H(testOptions(2.0, 3, 8));
+  int C = SizeClass::sizeToClass(128);
+  std::vector<void *> Held;
+  // With 8 initial slots and M=2, the 5th live object forces a doubling
+  // (4/8 is the bound), then 16, 32, ...
+  for (int I = 0; I < 64; ++I) {
+    void *P = H.allocate(128);
+    ASSERT_NE(P, nullptr);
+    Held.push_back(P);
+  }
+  EXPECT_GE(H.capacityOfClass(C), 128u)
+      << "64 live objects need at least 128 slots under M=2";
+  // The 1/M invariant holds at every moment.
+  EXPECT_LE(static_cast<double>(H.liveInClass(C)),
+            static_cast<double>(H.capacityOfClass(C)) / 2.0);
+  for (void *P : Held)
+    H.deallocate(P);
+}
+
+TEST(AdaptiveHeapTest, InvariantHoldsUnderChurn) {
+  AdaptiveDieHardHeap H(testOptions(4.0, 9, 16));
+  Rng Rand(1);
+  std::vector<void *> Live;
+  for (int Step = 0; Step < 20000; ++Step) {
+    if (Live.empty() || (Rand.next() & 1)) {
+      void *P = H.allocate(1 + Rand.nextBounded(1024));
+      if (P != nullptr)
+        Live.push_back(P);
+    } else {
+      size_t I = Rand.nextBounded(static_cast<uint32_t>(Live.size()));
+      H.deallocate(Live[I]);
+      Live[I] = Live.back();
+      Live.pop_back();
+    }
+    if (Step % 1000 == 0) {
+      for (int C = 0; C < SizeClass::NumClasses; ++C) {
+        if (H.capacityOfClass(C) == 0)
+          continue;
+        ASSERT_LE(static_cast<double>(H.liveInClass(C)),
+                  static_cast<double>(H.capacityOfClass(C)) / 4.0 + 1.0)
+            << "class " << C << " step " << Step;
+      }
+    }
+  }
+  for (void *P : Live)
+    H.deallocate(P);
+}
+
+TEST(AdaptiveHeapTest, ObjectsSurviveGrowth) {
+  // Growth must never move or damage live objects (sub-regions are added,
+  // never reallocated).
+  AdaptiveDieHardHeap H(testOptions(2.0, 5, 8));
+  std::vector<std::pair<unsigned char *, int>> Objects;
+  for (int I = 0; I < 200; ++I) {
+    auto *P = static_cast<unsigned char *>(H.allocate(256));
+    ASSERT_NE(P, nullptr);
+    std::memset(P, I & 0xFF, 256);
+    Objects.push_back({P, I & 0xFF});
+  }
+  EXPECT_GT(H.stats().Growths, 3u) << "the class must have grown repeatedly";
+  for (auto &[P, Tag] : Objects)
+    for (int B = 0; B < 256; ++B)
+      ASSERT_EQ(P[B], Tag);
+  for (auto &[P, Tag] : Objects)
+    H.deallocate(P);
+}
+
+TEST(AdaptiveHeapTest, DoubleAndInvalidFreesIgnored) {
+  AdaptiveDieHardHeap H(testOptions());
+  void *P = H.allocate(32);
+  ASSERT_NE(P, nullptr);
+  H.deallocate(P);
+  H.deallocate(P); // Double free.
+  int Stack;
+  H.deallocate(&Stack); // Foreign pointer.
+  char *Q = static_cast<char *>(H.allocate(1024));
+  H.deallocate(Q + 8); // Misaligned interior pointer.
+  EXPECT_EQ(H.stats().IgnoredFrees, 3u);
+  EXPECT_EQ(H.getObjectSize(Q), 1024u);
+  H.deallocate(Q);
+}
+
+TEST(AdaptiveHeapTest, ObjectQueriesWork) {
+  AdaptiveDieHardHeap H(testOptions());
+  char *P = static_cast<char *>(H.allocate(100));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(H.getObjectSize(P), 128u);
+  EXPECT_EQ(H.getObjectStart(P + 77), P);
+  H.deallocate(P);
+  EXPECT_EQ(H.getObjectSize(P), 0u);
+  EXPECT_EQ(H.getObjectStart(P), nullptr);
+}
+
+TEST(AdaptiveHeapTest, LargeObjectsRouted) {
+  AdaptiveDieHardHeap H(testOptions());
+  auto *P = static_cast<char *>(H.allocate(100 * 1024));
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 3, 100 * 1024);
+  EXPECT_EQ(H.getObjectSize(P), 100u * 1024);
+  EXPECT_EQ(H.stats().LargeAllocations, 1u);
+  H.deallocate(P);
+  EXPECT_EQ(H.stats().LargeFrees, 1u);
+}
+
+TEST(AdaptiveHeapTest, ReservationTracksDemandNotMaximum) {
+  // The adaptive heap's selling point: a workload with a small live set
+  // reserves memory proportional to its *live* demand, not a fixed 384 MB.
+  AdaptiveOptions O = testOptions(2.0, 11, 64);
+  AdaptiveAllocator A(O);
+  WorkloadParams P;
+  P.Name = "small";
+  P.MemoryOps = 20000;
+  P.MinSize = 8;
+  P.MaxSize = 256;
+  P.MaxLive = 200;
+  P.Seed = 12;
+  SyntheticWorkload W(P);
+  WorkloadResult R = W.run(A);
+  EXPECT_EQ(R.FailedAllocations, 0u);
+  EXPECT_LT(A.heap().reservedBytes(), size_t(4) << 20)
+      << "a 200-object live set must not reserve many megabytes";
+}
+
+TEST(AdaptiveHeapTest, ChecksumMatchesFixedHeap) {
+  AdaptiveAllocator A(testOptions(2.0, 21));
+  WorkloadParams P;
+  P.Name = "check";
+  P.MemoryOps = 30000;
+  P.MinSize = 8;
+  P.MaxSize = 2048;
+  P.MaxLive = 1000;
+  P.Seed = 5;
+  SyntheticWorkload W(P);
+  uint64_t Adaptive = W.run(A).Checksum;
+  SystemAllocator System;
+  EXPECT_EQ(Adaptive, W.run(System).Checksum);
+}
+
+TEST(AdaptiveHeapTest, RandomFillWorks) {
+  AdaptiveOptions O = testOptions();
+  O.RandomFillObjects = true;
+  AdaptiveDieHardHeap H(O);
+  auto *P = static_cast<uint32_t *>(H.allocate(256));
+  ASSERT_NE(P, nullptr);
+  int NonZero = 0;
+  for (int I = 0; I < 64; ++I)
+    NonZero += P[I] != 0 ? 1 : 0;
+  EXPECT_GT(NonZero, 50);
+  H.deallocate(P);
+}
+
+TEST(AdaptiveHeapTest, ZeroSizeReturnsNull) {
+  AdaptiveDieHardHeap H(testOptions());
+  EXPECT_EQ(H.allocate(0), nullptr);
+}
+
+/// Property sweep: the 1/M invariant and growth behaviour hold for every M.
+class AdaptiveExpansionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdaptiveExpansionSweep, BoundRespectedWhileLoading) {
+  double M = GetParam();
+  AdaptiveDieHardHeap H(testOptions(M, 31, 16));
+  int C = SizeClass::sizeToClass(64);
+  std::vector<void *> Held;
+  for (int I = 0; I < 500; ++I) {
+    void *P = H.allocate(64);
+    ASSERT_NE(P, nullptr);
+    Held.push_back(P);
+    ASSERT_LE(static_cast<double>(H.liveInClass(C)),
+              static_cast<double>(H.capacityOfClass(C)) / M + 1e-9)
+        << "allocation " << I;
+  }
+  for (void *P : Held)
+    H.deallocate(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, AdaptiveExpansionSweep,
+                         ::testing::Values(1.5, 2.0, 3.0, 4.0, 8.0));
+
+} // namespace
+} // namespace diehard

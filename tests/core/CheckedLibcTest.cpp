@@ -1,0 +1,215 @@
+//===- tests/core/CheckedLibcTest.cpp -------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CheckedLibc.h"
+
+#include "core/DieHardHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+class CheckedLibcTest : public ::testing::Test {
+protected:
+  CheckedLibcTest() : Heap(makeOptions()), Checked(Heap) {}
+
+  static DieHardOptions makeOptions() {
+    DieHardOptions O;
+    O.HeapSize = 24 * 1024 * 1024;
+    O.Seed = 11;
+    return O;
+  }
+
+  DieHardHeap Heap;
+  CheckedLibc Checked;
+};
+
+TEST_F(CheckedLibcTest, StrcpyWithinBoundsCopiesAll) {
+  auto *Dst = static_cast<char *>(Heap.allocate(64));
+  ASSERT_NE(Dst, nullptr);
+  Checked.strcpy(Dst, "hello");
+  EXPECT_STREQ(Dst, "hello");
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrcpyClampsOverflow) {
+  auto *Dst = static_cast<char *>(Heap.allocate(16));
+  ASSERT_NE(Dst, nullptr);
+  std::string Long(200, 'A');
+  Checked.strcpy(Dst, Long.c_str());
+  // The destination object is exactly 16 bytes; the copy must stop at 15
+  // characters plus the terminator.
+  EXPECT_EQ(std::strlen(Dst), 15u);
+  EXPECT_EQ(std::string(Dst), std::string(15, 'A'));
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrcpyClampsFromInteriorPointer) {
+  auto *Dst = static_cast<char *>(Heap.allocate(32));
+  ASSERT_NE(Dst, nullptr);
+  std::string Long(100, 'B');
+  Checked.strcpy(Dst + 20, Long.c_str());
+  // Only 12 bytes remain past offset 20 in a 32-byte object.
+  EXPECT_EQ(std::strlen(Dst + 20), 11u);
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrcpyOverflowDoesNotTouchNeighbourSlots) {
+  // Fill the 16-byte class heavily, then overflow one object and verify
+  // every other object is intact (the write was clamped, not redirected).
+  std::vector<char *> Objects;
+  for (int I = 0; I < 200; ++I) {
+    auto *P = static_cast<char *>(Heap.allocate(16));
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 'x', 16);
+    Objects.push_back(P);
+  }
+  std::string Long(500, 'Z');
+  Checked.strcpy(Objects[100], Long.c_str());
+  for (int I = 0; I < 200; ++I) {
+    if (I == 100)
+      continue;
+    for (int B = 0; B < 16; ++B)
+      ASSERT_EQ(Objects[static_cast<size_t>(I)][B], 'x')
+          << "object " << I << " byte " << B;
+  }
+  for (char *P : Objects)
+    Heap.deallocate(P);
+}
+
+TEST_F(CheckedLibcTest, StrcpyPassesThroughForNonHeapDestination) {
+  char Stack[32];
+  Checked.strcpy(Stack, "stack-dest");
+  EXPECT_STREQ(Stack, "stack-dest");
+}
+
+TEST_F(CheckedLibcTest, StrncpyUsesActualSpaceAsBound) {
+  auto *Dst = static_cast<char *>(Heap.allocate(8));
+  ASSERT_NE(Dst, nullptr);
+  std::string Long(64, 'C');
+  // The programmer's (wrong) bound of 64 must be overridden by the real
+  // space of 8 bytes.
+  Checked.strncpy(Dst, Long.c_str(), 64);
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Dst[I], 'C');
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrncpyHonoursSmallerUserBound) {
+  auto *Dst = static_cast<char *>(Heap.allocate(64));
+  ASSERT_NE(Dst, nullptr);
+  std::memset(Dst, '#', 64);
+  Checked.strncpy(Dst, "abcdef", 3);
+  EXPECT_EQ(Dst[0], 'a');
+  EXPECT_EQ(Dst[2], 'c');
+  EXPECT_EQ(Dst[3], '#') << "bytes past the user bound stay untouched";
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrncpyPadsWithNulsLikeLibc) {
+  auto *Dst = static_cast<char *>(Heap.allocate(16));
+  ASSERT_NE(Dst, nullptr);
+  std::memset(Dst, '#', 16);
+  Checked.strncpy(Dst, "ab", 10);
+  EXPECT_EQ(Dst[0], 'a');
+  EXPECT_EQ(Dst[1], 'b');
+  for (int I = 2; I < 10; ++I)
+    EXPECT_EQ(Dst[I], '\0') << I;
+  EXPECT_EQ(Dst[10], '#');
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrcatClampsAtObjectEnd) {
+  auto *Dst = static_cast<char *>(Heap.allocate(16));
+  ASSERT_NE(Dst, nullptr);
+  Checked.strcpy(Dst, "0123456789");
+  Checked.strcat(Dst, "ABCDEFGHIJ");
+  EXPECT_EQ(std::strlen(Dst), 15u);
+  EXPECT_EQ(std::string(Dst), "0123456789ABCDE");
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, StrcatWithinBounds) {
+  auto *Dst = static_cast<char *>(Heap.allocate(64));
+  ASSERT_NE(Dst, nullptr);
+  Checked.strcpy(Dst, "foo");
+  Checked.strcat(Dst, "bar");
+  EXPECT_STREQ(Dst, "foobar");
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, MemcpyClamps) {
+  auto *Dst = static_cast<char *>(Heap.allocate(32));
+  ASSERT_NE(Dst, nullptr);
+  char Src[128];
+  std::memset(Src, 7, sizeof(Src));
+  Checked.memcpy(Dst, Src, 128);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Dst[I], 7);
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, MemsetClamps) {
+  auto *Dst = static_cast<char *>(Heap.allocate(32));
+  ASSERT_NE(Dst, nullptr);
+  Checked.memset(Dst, 9, 4096);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Dst[I], 9);
+  Heap.deallocate(Dst);
+}
+
+TEST_F(CheckedLibcTest, AvailableSpaceGeometry) {
+  auto *Dst = static_cast<char *>(Heap.allocate(100)); // Rounds to 128.
+  ASSERT_NE(Dst, nullptr);
+  EXPECT_EQ(Checked.availableSpace(Dst), 128u);
+  EXPECT_EQ(Checked.availableSpace(Dst + 100), 28u);
+  EXPECT_EQ(Checked.availableSpace(Dst + 127), 1u);
+  int Stack;
+  EXPECT_EQ(Checked.availableSpace(&Stack), SIZE_MAX);
+  Heap.deallocate(Dst);
+  EXPECT_EQ(Checked.availableSpace(Dst), SIZE_MAX)
+      << "freed objects are not heap destinations";
+}
+
+/// Property sweep: for every size class, a strcpy of a string longer than
+/// the class size is clamped to exactly classSize-1 characters, from the
+/// base pointer and from an interior pointer.
+class CheckedLibcClassSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckedLibcClassSweep, ClampsAtEveryClassBoundary) {
+  int C = GetParam();
+  DieHardOptions O;
+  O.HeapSize = 96 * 1024 * 1024;
+  O.Seed = 0xC1A55;
+  DieHardHeap Heap(O);
+  CheckedLibc Checked(Heap);
+
+  size_t Size = SizeClass::classToSize(C);
+  auto *Dst = static_cast<char *>(Heap.allocate(Size));
+  ASSERT_NE(Dst, nullptr);
+  std::string Long(2 * Size + 17, 'W');
+  Checked.strcpy(Dst, Long.c_str());
+  EXPECT_EQ(std::strlen(Dst), Size - 1) << "class " << C;
+
+  if (Size >= 4) {
+    size_t Offset = Size / 2;
+    Checked.strcpy(Dst + Offset, Long.c_str());
+    EXPECT_EQ(std::strlen(Dst + Offset), Size - Offset - 1)
+        << "interior pointer, class " << C;
+  }
+  Heap.deallocate(Dst);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, CheckedLibcClassSweep,
+                         ::testing::Range(0, SizeClass::NumClasses));
+
+} // namespace
+} // namespace diehard

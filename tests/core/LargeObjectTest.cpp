@@ -1,0 +1,134 @@
+//===- tests/core/LargeObjectTest.cpp -------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LargeObjectManager.h"
+
+#include "core/DieHardHeap.h"
+#include "support/MmapRegion.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace diehard {
+namespace {
+
+TEST(LargeObjectManagerTest, AllocatesUsableMemory) {
+  LargeObjectManager M;
+  constexpr size_t Size = 100 * 1024;
+  auto *P = static_cast<char *>(M.allocate(Size));
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xEE, Size);
+  EXPECT_EQ(static_cast<unsigned char>(P[Size - 1]), 0xEE);
+  EXPECT_TRUE(M.deallocate(P));
+}
+
+TEST(LargeObjectManagerTest, TracksSizeAndLiveness) {
+  LargeObjectManager M;
+  void *P = M.allocate(64 * 1024);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(M.getSize(P), 64u * 1024);
+  EXPECT_TRUE(M.contains(P));
+  EXPECT_EQ(M.liveCount(), 1u);
+  EXPECT_TRUE(M.deallocate(P));
+  EXPECT_FALSE(M.contains(P));
+  EXPECT_EQ(M.liveCount(), 0u);
+}
+
+TEST(LargeObjectManagerTest, DoubleFreeIgnored) {
+  LargeObjectManager M;
+  void *P = M.allocate(32 * 1024);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(M.deallocate(P));
+  EXPECT_FALSE(M.deallocate(P)) << "second free must be refused";
+}
+
+TEST(LargeObjectManagerTest, UnknownPointerIgnored) {
+  LargeObjectManager M;
+  int Local;
+  EXPECT_FALSE(M.deallocate(&Local));
+  EXPECT_FALSE(M.deallocate(nullptr));
+}
+
+TEST(LargeObjectManagerTest, ZeroSizeRefused) {
+  LargeObjectManager M;
+  EXPECT_EQ(M.allocate(0), nullptr);
+}
+
+TEST(LargeObjectManagerDeathTest, FrontGuardPageFaults) {
+  LargeObjectManager M;
+  auto *P = static_cast<char *>(M.allocate(8 * 1024 * 1024));
+  ASSERT_NE(P, nullptr);
+  // One byte before the object is the PROT_NONE guard page (Section 4.1).
+  EXPECT_DEATH({ P[-1] = 1; }, "");
+  M.deallocate(P);
+}
+
+TEST(LargeObjectManagerDeathTest, RearGuardPageFaults) {
+  LargeObjectManager M;
+  size_t Page = MmapRegion::pageSize();
+  // Exactly page-sized body: the byte after the object is the rear guard.
+  auto *P = static_cast<char *>(M.allocate(Page));
+  ASSERT_NE(P, nullptr);
+  EXPECT_DEATH({ P[Page] = 1; }, "");
+  M.deallocate(P);
+}
+
+TEST(DieHardHeapLargeTest, HeapRoutesLargeRequests) {
+  DieHardOptions O;
+  O.HeapSize = 24 * 1024 * 1024;
+  O.Seed = 4;
+  DieHardHeap H(O);
+  constexpr size_t Size = SizeClass::MaxObjectSize + 1;
+  auto *P = static_cast<char *>(H.allocate(Size));
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(H.isInHeap(P)) << "large objects live outside the heap area";
+  EXPECT_EQ(H.getObjectSize(P), Size);
+  std::memset(P, 1, Size);
+  EXPECT_EQ(H.stats().LargeAllocations, 1u);
+  H.deallocate(P);
+  EXPECT_EQ(H.stats().LargeFrees, 1u);
+  EXPECT_EQ(H.getObjectSize(P), 0u);
+}
+
+TEST(DieHardHeapLargeTest, LargeDoubleFreeIgnored) {
+  DieHardOptions O;
+  O.HeapSize = 24 * 1024 * 1024;
+  O.Seed = 4;
+  DieHardHeap H(O);
+  void *P = H.allocate(128 * 1024);
+  ASSERT_NE(P, nullptr);
+  H.deallocate(P);
+  H.deallocate(P);
+  EXPECT_EQ(H.stats().IgnoredFrees, 1u);
+}
+
+TEST(DieHardHeapLargeTest, ReallocAcrossLargeBoundary) {
+  DieHardOptions O;
+  O.HeapSize = 24 * 1024 * 1024;
+  O.Seed = 4;
+  DieHardHeap H(O);
+  auto *P = static_cast<char *>(H.allocate(8192));
+  ASSERT_NE(P, nullptr);
+  for (int I = 0; I < 8192; ++I)
+    P[I] = static_cast<char>(I * 31);
+  // Grow past MaxObjectSize: must migrate to the large-object manager.
+  auto *Q = static_cast<char *>(H.reallocate(P, 64 * 1024));
+  ASSERT_NE(Q, nullptr);
+  EXPECT_FALSE(H.isInHeap(Q));
+  for (int I = 0; I < 8192; ++I)
+    ASSERT_EQ(Q[I], static_cast<char>(I * 31));
+  // And shrink back into the small heap.
+  auto *R = static_cast<char *>(H.reallocate(Q, 1024));
+  ASSERT_NE(R, nullptr);
+  EXPECT_TRUE(H.isInHeap(R));
+  for (int I = 0; I < 1024; ++I)
+    ASSERT_EQ(R[I], static_cast<char>(I * 31));
+  H.deallocate(R);
+}
+
+} // namespace
+} // namespace diehard

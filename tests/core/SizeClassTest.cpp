@@ -1,0 +1,75 @@
+//===- tests/core/SizeClassTest.cpp ---------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SizeClass.h"
+
+#include <gtest/gtest.h>
+
+namespace diehard {
+namespace {
+
+TEST(SizeClassTest, TwelveClassesEightToSixteenK) {
+  EXPECT_EQ(SizeClass::NumClasses, 12);
+  EXPECT_EQ(SizeClass::classToSize(0), 8u);
+  EXPECT_EQ(SizeClass::classToSize(11), 16384u);
+}
+
+TEST(SizeClassTest, ClassSizesDouble) {
+  for (int C = 1; C < SizeClass::NumClasses; ++C)
+    EXPECT_EQ(SizeClass::classToSize(C), 2 * SizeClass::classToSize(C - 1));
+}
+
+TEST(SizeClassTest, ExactPowersMapToOwnClass) {
+  for (int C = 0; C < SizeClass::NumClasses; ++C)
+    EXPECT_EQ(SizeClass::sizeToClass(SizeClass::classToSize(C)), C);
+}
+
+TEST(SizeClassTest, OneBytePastPowerBumpsClass) {
+  for (int C = 0; C + 1 < SizeClass::NumClasses; ++C)
+    EXPECT_EQ(SizeClass::sizeToClass(SizeClass::classToSize(C) + 1), C + 1);
+}
+
+TEST(SizeClassTest, TinySizesShareClassZero) {
+  for (size_t S = 1; S <= 8; ++S)
+    EXPECT_EQ(SizeClass::sizeToClass(S), 0) << S;
+}
+
+TEST(SizeClassTest, RoundUpIsIdempotentAndCovers) {
+  for (size_t S = 1; S <= SizeClass::MaxObjectSize; S += 7) {
+    size_t R = SizeClass::roundUp(S);
+    EXPECT_GE(R, S);
+    if (S >= SizeClass::MinObjectSize) {
+      EXPECT_LT(R, 2 * S) << "round-up may at most double";
+    }
+    EXPECT_EQ(SizeClass::roundUp(R), R);
+    EXPECT_EQ(R & (R - 1), 0u) << "rounded size must be a power of two";
+  }
+}
+
+TEST(SizeClassTest, IsSmallBoundary) {
+  EXPECT_FALSE(SizeClass::isSmall(0));
+  EXPECT_TRUE(SizeClass::isSmall(1));
+  EXPECT_TRUE(SizeClass::isSmall(SizeClass::MaxObjectSize));
+  EXPECT_FALSE(SizeClass::isSmall(SizeClass::MaxObjectSize + 1));
+}
+
+/// Property sweep: sizeToClass is the inverse of classToSize on the whole
+/// valid range (dlog2e of the request, minus 3 — Section 4.2).
+class SizeClassSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SizeClassSweep, EverySizeInClassRangeMapsBack) {
+  int C = GetParam();
+  size_t Lo = C == 0 ? 1 : SizeClass::classToSize(C - 1) + 1;
+  size_t Hi = SizeClass::classToSize(C);
+  for (size_t S = Lo; S <= Hi; S += (C >= 8 ? 37 : 1))
+    EXPECT_EQ(SizeClass::sizeToClass(S), C) << "size " << S;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, SizeClassSweep,
+                         ::testing::Range(0, SizeClass::NumClasses));
+
+} // namespace
+} // namespace diehard

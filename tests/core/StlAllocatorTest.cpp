@@ -1,0 +1,107 @@
+//===- tests/core/StlAllocatorTest.cpp ------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StlAllocator.h"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+DieHardOptions stlOptions() {
+  DieHardOptions O;
+  O.HeapSize = 96 * 1024 * 1024;
+  O.Seed = 0x571;
+  return O;
+}
+
+TEST(StlAllocatorTest, VectorGrowsAndShrinksOnTheHeap) {
+  DieHardHeap Heap(stlOptions());
+  {
+    std::vector<int, StlAllocator<int>> V{StlAllocator<int>(Heap)};
+    for (int I = 0; I < 10000; ++I)
+      V.push_back(I);
+    for (int I = 0; I < 10000; ++I)
+      ASSERT_EQ(V[static_cast<size_t>(I)], I);
+    EXPECT_GT(Heap.bytesLive(), 10000u * sizeof(int) / 2);
+  }
+  EXPECT_EQ(Heap.bytesLive(), 0u) << "destruction releases everything";
+}
+
+TEST(StlAllocatorTest, NodeContainersWork) {
+  DieHardHeap Heap(stlOptions());
+  using MapAlloc = StlAllocator<std::pair<const int, std::string>>;
+  {
+    std::map<int, std::string, std::less<int>, MapAlloc> M{
+        std::less<int>(), MapAlloc(Heap)};
+    for (int I = 0; I < 1000; ++I)
+      M.emplace(I, "value-" + std::to_string(I));
+    EXPECT_EQ(M.size(), 1000u);
+    EXPECT_EQ(M.at(500), "value-500");
+    // Every node is a live DieHard object.
+    EXPECT_GE(Heap.stats().Allocations, 1000u);
+  }
+  EXPECT_EQ(Heap.bytesLive(), 0u);
+}
+
+TEST(StlAllocatorTest, ListNodesAreRandomlyPlaced) {
+  DieHardHeap Heap(stlOptions());
+  std::list<long, StlAllocator<long>> L{StlAllocator<long>(Heap)};
+  for (long I = 0; I < 64; ++I)
+    L.push_back(I);
+  // Successive nodes should not be contiguous (they would be under a bump
+  // or freelist allocator).
+  int Adjacent = 0;
+  const long *Prev = nullptr;
+  for (const long &Value : L) {
+    if (Prev != nullptr) {
+      auto Delta = reinterpret_cast<const char *>(&Value) -
+                   reinterpret_cast<const char *>(Prev);
+      Adjacent += (Delta > 0 && Delta <= 64) ? 1 : 0;
+    }
+    Prev = &Value;
+  }
+  EXPECT_LT(Adjacent, 8) << "random placement must break adjacency";
+}
+
+TEST(StlAllocatorTest, AllocatorsCompareByHeap) {
+  DieHardHeap HeapA(stlOptions()), HeapB(stlOptions());
+  StlAllocator<int> A1(HeapA), A2(HeapA), B(HeapB);
+  EXPECT_EQ(A1, A2);
+  EXPECT_NE(A1, B);
+  StlAllocator<double> Rebound(A1); // Converting constructor.
+  EXPECT_EQ(Rebound.heap(), A1.heap());
+}
+
+TEST(StlAllocatorTest, ExhaustionThrowsBadAlloc) {
+  DieHardOptions O;
+  O.HeapSize = 12 * SizeClass::MaxObjectSize * 2; // Tiny.
+  O.Seed = 2;
+  DieHardHeap Heap(O);
+  StlAllocator<char> A(Heap);
+  EXPECT_THROW(
+      {
+        // Far beyond the 4 KB class's threshold in a tiny heap.
+        std::vector<void *> Held;
+        for (int I = 0; I < 1000; ++I)
+          Held.push_back(A.allocate(4096));
+      },
+      std::bad_alloc);
+}
+
+TEST(StlAllocatorTest, OverflowInCountThrows) {
+  DieHardHeap Heap(stlOptions());
+  StlAllocator<uint64_t> A(Heap);
+  EXPECT_THROW(A.allocate(SIZE_MAX / 4), std::bad_alloc);
+}
+
+} // namespace
+} // namespace diehard

@@ -1,0 +1,134 @@
+//===- tests/debug/HeapDiffTest.cpp ---------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "debug/HeapDiff.h"
+
+#include "core/DieHardHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+DieHardOptions debugOptions(uint64_t Seed = 0xD1FF) {
+  DieHardOptions O;
+  O.HeapSize = 24 * 1024 * 1024;
+  O.Seed = Seed;
+  return O;
+}
+
+/// Runs the same deterministic allocation script on \p Heap; optionally
+/// injects an overflow from object \p OverflowFrom of \p OverflowBytes.
+std::vector<char *> runScript(DieHardHeap &Heap, int OverflowFrom = -1,
+                              size_t OverflowBytes = 0) {
+  std::vector<char *> Objects;
+  for (int I = 0; I < 50; ++I) {
+    auto *P = static_cast<char *>(Heap.allocate(64));
+    std::memset(P, I, 64);
+    Objects.push_back(P);
+  }
+  if (OverflowFrom >= 0)
+    std::memset(Objects[static_cast<size_t>(OverflowFrom)], 0x7E,
+                64 + OverflowBytes);
+  return Objects;
+}
+
+TEST(HeapDiffTest, IdenticalRunsProduceEmptyDiff) {
+  DieHardHeap A(debugOptions()), B(debugOptions());
+  runScript(A);
+  runScript(B);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(A),
+                                HeapSnapshot::capture(B));
+  EXPECT_TRUE(Diff.empty());
+  EXPECT_EQ(formatHeapDiff(Diff), "heaps identical\n");
+}
+
+TEST(HeapDiffTest, SameSeedGivesComparableSnapshots) {
+  DieHardHeap A(debugOptions()), B(debugOptions());
+  runScript(A);
+  runScript(B);
+  HeapSnapshot SA = HeapSnapshot::capture(A);
+  EXPECT_EQ(SA.heapSeed(), B.seed());
+  EXPECT_EQ(SA.objectCount(), 50u);
+}
+
+TEST(HeapDiffTest, OverflowVictimsArePinpointed) {
+  DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
+  runScript(Reference);
+  // The suspect run overflows 3 objects' worth of bytes from object 10.
+  runScript(Suspect, /*OverflowFrom=*/10, /*OverflowBytes=*/3 * 64);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(Reference),
+                                HeapSnapshot::capture(Suspect));
+  // The overflowing object itself changed (memset with a new value), and
+  // every live slot in the 192 trailing bytes changed too.
+  ASSERT_FALSE(Diff.empty());
+  for (const HeapDiffEntry &E : Diff)
+    EXPECT_EQ(E.Kind, HeapDiffKind::ContentChanged);
+  // At least the source object diverged; victims depend on layout.
+  EXPECT_GE(Diff.size(), 1u);
+  EXPECT_LE(Diff.size(), 4u) << "a 3-object overflow touches at most the "
+                                "source plus 3 slots";
+}
+
+TEST(HeapDiffTest, ByteRangeNarrowsTheWrite) {
+  DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
+  auto RefObjs = runScript(Reference);
+  auto SusObjs = runScript(Suspect);
+  (void)RefObjs;
+  // Corrupt exactly bytes [8, 11] of object 7 in the suspect run.
+  std::memset(SusObjs[7] + 8, 0xFF, 4);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(Reference),
+                                HeapSnapshot::capture(Suspect));
+  ASSERT_EQ(Diff.size(), 1u);
+  EXPECT_EQ(Diff[0].Kind, HeapDiffKind::ContentChanged);
+  EXPECT_EQ(Diff[0].FirstByte, 8u);
+  EXPECT_EQ(Diff[0].LastByte, 11u);
+}
+
+TEST(HeapDiffTest, LivenessDivergenceIsReported) {
+  DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
+  auto RefObjs = runScript(Reference);
+  auto SusObjs = runScript(Suspect);
+  (void)RefObjs;
+  // The suspect run freed one object the reference still holds (e.g. a
+  // double-free bug's first symptom).
+  Suspect.deallocate(SusObjs[3]);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(Reference),
+                                HeapSnapshot::capture(Suspect));
+  ASSERT_EQ(Diff.size(), 1u);
+  EXPECT_EQ(Diff[0].Kind, HeapDiffKind::OnlyInReference);
+}
+
+TEST(HeapDiffTest, ExtraAllocationIsReported) {
+  DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
+  runScript(Reference);
+  runScript(Suspect);
+  Suspect.allocate(64);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(Reference),
+                                HeapSnapshot::capture(Suspect));
+  ASSERT_EQ(Diff.size(), 1u);
+  EXPECT_EQ(Diff[0].Kind, HeapDiffKind::OnlyInSuspect);
+}
+
+TEST(HeapDiffTest, FormatterMentionsEveryEntry) {
+  DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
+  auto RefObjs = runScript(Reference);
+  auto SusObjs = runScript(Suspect);
+  (void)RefObjs;
+  std::memset(SusObjs[2], 0xEE, 16);
+  Suspect.deallocate(SusObjs[9]);
+  auto Diff = diffHeapSnapshots(HeapSnapshot::capture(Reference),
+                                HeapSnapshot::capture(Suspect));
+  std::string Report = formatHeapDiff(Diff);
+  EXPECT_NE(Report.find("overwritten"), std::string::npos);
+  EXPECT_NE(Report.find("live only in reference"), std::string::npos);
+}
+
+} // namespace
+} // namespace diehard

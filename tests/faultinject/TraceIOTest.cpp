@@ -1,0 +1,120 @@
+//===- tests/faultinject/TraceIOTest.cpp ----------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "faultinject/TraceIO.h"
+
+#include "baselines/DieHardAllocator.h"
+#include "workloads/SyntheticWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+namespace diehard {
+namespace {
+
+std::string tempTracePath() {
+  char Template[] = "/tmp/diehard-trace-XXXXXX";
+  int Fd = ::mkstemp(Template);
+  if (Fd >= 0)
+    ::close(Fd);
+  return Template;
+}
+
+TEST(TraceIOTest, RoundTripsEmptyTrace) {
+  std::string Path = tempTracePath();
+  AllocationTrace Empty;
+  ASSERT_TRUE(writeTrace(Empty, Path));
+  AllocationTrace Loaded;
+  ASSERT_TRUE(readTrace(Loaded, Path));
+  EXPECT_TRUE(Loaded.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, RoundTripsRecordsExactly) {
+  std::string Path = tempTracePath();
+  AllocationTrace Trace;
+  Trace.push_back(AllocationRecord{0, 5, 16});
+  Trace.push_back(AllocationRecord{1, -1, 1024}); // Never freed.
+  Trace.push_back(AllocationRecord{2, 3, 8});
+  ASSERT_TRUE(writeTrace(Trace, Path));
+
+  AllocationTrace Loaded;
+  ASSERT_TRUE(readTrace(Loaded, Path));
+  ASSERT_EQ(Loaded.size(), 3u);
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_EQ(Loaded[I].AllocTime, Trace[I].AllocTime) << I;
+    EXPECT_EQ(Loaded[I].FreeTime, Trace[I].FreeTime) << I;
+    EXPECT_EQ(Loaded[I].Size, Trace[I].Size) << I;
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, RoundTripsRealWorkloadTrace) {
+  DieHardOptions O;
+  O.HeapSize = 64 * 1024 * 1024;
+  O.Seed = 9;
+  DieHardAllocator Inner(O);
+  TraceAllocator Tracer(Inner);
+  WorkloadParams P;
+  P.Name = "io";
+  P.MemoryOps = 10000;
+  P.MaxLive = 300;
+  P.Seed = 4;
+  SyntheticWorkload W(P);
+  W.run(Tracer);
+
+  std::string Path = tempTracePath();
+  ASSERT_TRUE(writeTrace(Tracer.trace(), Path));
+  AllocationTrace Loaded;
+  ASSERT_TRUE(readTrace(Loaded, Path));
+  ASSERT_EQ(Loaded.size(), Tracer.trace().size());
+  for (size_t I = 0; I < Loaded.size(); I += 17) {
+    EXPECT_EQ(Loaded[I].FreeTime, Tracer.trace()[I].FreeTime);
+    EXPECT_EQ(Loaded[I].Size, Tracer.trace()[I].Size);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingFileFails) {
+  AllocationTrace Loaded;
+  EXPECT_FALSE(readTrace(Loaded, "/nonexistent/dir/trace.txt"));
+  EXPECT_TRUE(Loaded.empty());
+}
+
+TEST(TraceIOTest, GarbageFileFails) {
+  std::string Path = tempTracePath();
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("this is not a trace\n", F);
+  std::fclose(F);
+  AllocationTrace Loaded;
+  EXPECT_FALSE(readTrace(Loaded, Path));
+  EXPECT_TRUE(Loaded.empty());
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, TruncatedFileFails) {
+  std::string Path = tempTracePath();
+  FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fputs("diehard-trace v1 5\n0 1 16\n", F); // Claims 5, has 1.
+  std::fclose(F);
+  AllocationTrace Loaded;
+  EXPECT_FALSE(readTrace(Loaded, Path));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, UnwritablePathFails) {
+  AllocationTrace Trace;
+  EXPECT_FALSE(writeTrace(Trace, "/nonexistent/dir/trace.txt"));
+}
+
+} // namespace
+} // namespace diehard

@@ -1,0 +1,99 @@
+//===- tests/interpose/MtVictim.cpp - multithreaded shim victim -----------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone victim binary executed under LD_PRELOAD by the interpose
+/// tests: several threads hammer malloc/realloc/calloc/free concurrently
+/// and verify their own data. Prints "MT-OK" and exits 0 when every check
+/// passes; any lost update, overlap, or crash fails the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace {
+
+bool hammer(unsigned ThreadId) {
+  unsigned State = ThreadId * 2654435761u + 1;
+  auto NextRand = [&State] {
+    State = State * 1664525u + 1013904223u;
+    return State;
+  };
+
+  struct Obj {
+    unsigned char *Ptr;
+    size_t Size;
+    unsigned char Tag;
+  };
+  std::vector<Obj> Live;
+  for (int Step = 0; Step < 20000; ++Step) {
+    unsigned Op = NextRand() % 100;
+    if (Op < 45 || Live.empty()) {
+      size_t Size = 1 + NextRand() % 2048;
+      auto *P = static_cast<unsigned char *>(
+          (Op % 3 == 0) ? std::calloc(1, Size) : std::malloc(Size));
+      if (P == nullptr)
+        return false;
+      if (Op % 3 == 0)
+        for (size_t I = 0; I < Size; ++I)
+          if (P[I] != 0)
+            return false; // calloc must zero.
+      auto Tag = static_cast<unsigned char>(NextRand());
+      std::memset(P, Tag, Size);
+      Live.push_back(Obj{P, Size, Tag});
+    } else if (Op < 55) {
+      Obj &O = Live[NextRand() % Live.size()];
+      size_t NewSize = 1 + NextRand() % 4096;
+      auto *Q = static_cast<unsigned char *>(std::realloc(O.Ptr, NewSize));
+      if (Q == nullptr)
+        return false;
+      size_t Check = O.Size < NewSize ? O.Size : NewSize;
+      for (size_t I = 0; I < Check; ++I)
+        if (Q[I] != O.Tag)
+          return false; // realloc must preserve the prefix.
+      std::memset(Q, O.Tag, NewSize);
+      O.Ptr = Q;
+      O.Size = NewSize;
+    } else {
+      size_t Index = NextRand() % Live.size();
+      Obj O = Live[Index];
+      for (size_t I = 0; I < O.Size; ++I)
+        if (O.Ptr[I] != O.Tag)
+          return false; // Data must be intact at free time.
+      std::free(O.Ptr);
+      Live[Index] = Live.back();
+      Live.pop_back();
+    }
+  }
+  for (Obj &O : Live)
+    std::free(O.Ptr);
+  return true;
+}
+
+} // namespace
+
+int main() {
+  constexpr int NumThreads = 8;
+  std::vector<std::thread> Threads;
+  std::vector<int> Results(NumThreads, 0);
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(
+        [T, &Results] { Results[static_cast<size_t>(T)] =
+                            hammer(static_cast<unsigned>(T) + 1) ? 1 : 0; });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (int R : Results)
+    if (!R) {
+      std::puts("MT-FAIL");
+      return 1;
+    }
+  std::puts("MT-OK");
+  return 0;
+}

@@ -1,0 +1,172 @@
+//===- tests/replication/ReplicationEdgeTest.cpp --------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Edge cases of the replicated framework: chunk-boundary outputs, large
+/// input broadcast, empty outputs, nonzero exits, buffer exhaustion, and a
+/// replica-count property sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "replication/Replication.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace diehard {
+namespace {
+
+ReplicationOptions edgeOptions(int Replicas = 3) {
+  ReplicationOptions O;
+  O.Replicas = Replicas;
+  O.MasterSeed = 0xED6E;
+  O.HeapSize = 16 * 1024 * 1024;
+  O.TimeoutMillis = 20000;
+  return O;
+}
+
+TEST(ReplicationEdgeTest, EmptyOutputAgrees) {
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run([](ReplicaContext &) { return 0; }, "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_TRUE(R.Output.empty());
+  EXPECT_EQ(R.Survivors, 3);
+}
+
+TEST(ReplicationEdgeTest, OutputExactlyOneChunk) {
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string Chunk(4096, 'c'); // Exactly the barrier size.
+        Ctx.write(Chunk);
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output.size(), 4096u);
+}
+
+TEST(ReplicationEdgeTest, OutputOneByteOverChunk) {
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string Data(4097, 'd');
+        Ctx.write(Data);
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output.size(), 4097u);
+}
+
+TEST(ReplicationEdgeTest, LargeInputBroadcast) {
+  ReplicaManager Manager(edgeOptions());
+  std::string Input(1 << 20, 'i'); // 1 MB through 64 KB pipes: needs the
+                                   // incremental reader in each replica.
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string In = Ctx.readAllInput();
+        char Line[32];
+        int N = std::snprintf(Line, sizeof(Line), "%zu", In.size());
+        Ctx.write(Line, static_cast<size_t>(N));
+        return 0;
+      },
+      Input);
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "1048576");
+}
+
+TEST(ReplicationEdgeTest, NonzeroExitReplicaIsExcluded) {
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        Ctx.write("shared-output\n");
+        return Ctx.replicaIndex() == 1 ? 9 : 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "shared-output\n");
+  EXPECT_EQ(R.Fates[1], ReplicaFate::NonzeroExit);
+  EXPECT_EQ(R.Survivors, 2);
+}
+
+TEST(ReplicationEdgeTest, AllReplicasCrashIsCleanFailure) {
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &) -> int { ::abort(); }, "");
+  EXPECT_FALSE(R.Success);
+  for (ReplicaFate F : R.Fates)
+    EXPECT_EQ(F, ReplicaFate::Crashed);
+}
+
+TEST(ReplicationEdgeTest, BufferExhaustionFailsTheReplica) {
+  ReplicationOptions O = edgeOptions();
+  O.BufferCapacity = 8192; // Tiny output budget.
+  ReplicaManager Manager(O);
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string Chunk(4096, 'x');
+        for (int I = 0; I < 8; ++I)
+          if (!Ctx.write(Chunk))
+            return 3; // Exhausted: abort, as documented.
+        return 0;
+      },
+      "");
+  // Every replica exhausts identically and exits nonzero: no agreement.
+  EXPECT_FALSE(R.Success);
+}
+
+TEST(ReplicationEdgeTest, SingleReplicaCrashFails) {
+  ReplicaManager Manager(edgeOptions(1));
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &) -> int { ::abort(); }, "");
+  EXPECT_FALSE(R.Success);
+  EXPECT_EQ(R.Fates[0], ReplicaFate::Crashed);
+}
+
+TEST(ReplicationEdgeTest, PartialOutputBeforeCrashIsNotCommittedAlone) {
+  // A replica that writes half a chunk then dies must not contribute; the
+  // healthy majority's output is committed.
+  ReplicaManager Manager(edgeOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) -> int {
+        if (Ctx.replicaIndex() == 2) {
+          Ctx.write("garbage-prefix");
+          ::abort();
+        }
+        Ctx.write("healthy-output\n");
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "healthy-output\n");
+  EXPECT_EQ(R.Fates[2], ReplicaFate::Crashed);
+}
+
+/// Property sweep: agreement and commit hold for any legal replica count.
+class ReplicaCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicaCountSweep, DeterministicBodyAlwaysCommits) {
+  ReplicaManager Manager(edgeOptions(GetParam()));
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string In = Ctx.readAllInput();
+        Ctx.write("echo:" + In + "\n");
+        return 0;
+      },
+      "ping");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "echo:ping\n");
+  EXPECT_EQ(R.Survivors, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, ReplicaCountSweep,
+                         ::testing::Values(1, 3, 4, 5, 7));
+
+} // namespace
+} // namespace diehard

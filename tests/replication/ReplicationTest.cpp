@@ -1,0 +1,238 @@
+//===- tests/replication/ReplicationTest.cpp ------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replication/Replication.h"
+
+#include "core/DieHardHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace diehard {
+namespace {
+
+ReplicationOptions testOptions(int Replicas = 3) {
+  ReplicationOptions O;
+  O.Replicas = Replicas;
+  O.MasterSeed = 0xD1E8A2D;
+  O.HeapSize = 24 * 1024 * 1024;
+  O.TimeoutMillis = 20000;
+  return O;
+}
+
+TEST(ReplicationTest, AgreeingReplicasCommitOutput) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        DieHardHeap Heap(Ctx.heapOptions());
+        auto *P = static_cast<char *>(Heap.allocate(64));
+        std::strcpy(P, "deterministic");
+        Ctx.write(std::string(P) + "-output\n");
+        Heap.deallocate(P);
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_FALSE(R.UninitReadDetected);
+  EXPECT_EQ(R.Output, "deterministic-output\n");
+  EXPECT_EQ(R.Survivors, 3);
+}
+
+TEST(ReplicationTest, SingleReplicaMode) {
+  ReplicaManager Manager(testOptions(1));
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        Ctx.write("alone\n");
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "alone\n");
+  EXPECT_EQ(R.Survivors, 1);
+}
+
+TEST(ReplicationTest, InputIsBroadcastToAllReplicas) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        std::string In = Ctx.readAllInput();
+        Ctx.write("echo:" + In);
+        return 0;
+      },
+      "hello replicas");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "echo:hello replicas");
+}
+
+TEST(ReplicationTest, ReplicasHaveDistinctSeeds) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        // Output the seed: all replicas will disagree, which the voter
+        // must flag rather than commit.
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "%llu",
+                      static_cast<unsigned long long>(Ctx.heapOptions().Seed));
+        Ctx.write(Buf, std::strlen(Buf));
+        return 0;
+      },
+      "");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.UninitReadDetected)
+      << "pairwise disagreement is the uninit-read signature";
+}
+
+TEST(ReplicationTest, CrashedReplicaIsOutvoted) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        if (Ctx.replicaIndex() == 1)
+          ::abort(); // One replica dies; the other two agree.
+        Ctx.write("survivors-agree\n");
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "survivors-agree\n");
+  EXPECT_EQ(R.Fates[1], ReplicaFate::Crashed);
+  EXPECT_EQ(R.Survivors, 2);
+}
+
+TEST(ReplicationTest, DivergentReplicaIsKilledByVote) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        if (Ctx.replicaIndex() == 2)
+          Ctx.write("i-am-different\n");
+        else
+          Ctx.write("majority-view\n");
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "majority-view\n");
+  EXPECT_EQ(R.Fates[2], ReplicaFate::KilledByVote);
+  EXPECT_EQ(R.Survivors, 2);
+}
+
+TEST(ReplicationTest, UninitializedReadIsDetected) {
+  // The flagship replicated-mode property (Section 3.2): a value read from
+  // uninitialized heap memory propagates to output; because every replica
+  // fills objects with different random data, outputs differ and the voter
+  // detects the bug.
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        DieHardHeap Heap(Ctx.heapOptions());
+        auto *P = static_cast<uint32_t *>(Heap.allocate(64));
+        char Buf[16];
+        std::snprintf(Buf, sizeof(Buf), "%08x", P[3]); // Uninitialized read!
+        Ctx.write(Buf, 8);
+        return 0;
+      },
+      "");
+  EXPECT_FALSE(R.Success);
+  EXPECT_TRUE(R.UninitReadDetected);
+}
+
+TEST(ReplicationTest, InitializedDataAgreesDespiteRandomFill) {
+  // Control for the test above: writing before reading produces agreement,
+  // so the random fill never causes false positives on correct programs.
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        DieHardHeap Heap(Ctx.heapOptions());
+        auto *P = static_cast<uint32_t *>(Heap.allocate(64));
+        P[3] = 0xCAFEF00D;
+        char Buf[16];
+        std::snprintf(Buf, sizeof(Buf), "%08x", P[3]);
+        Ctx.write(Buf, 8);
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "cafef00d");
+}
+
+TEST(ReplicationTest, MultiChunkOutputVotesIncrementally) {
+  // Output far larger than one 4K chunk exercises the barrier protocol.
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        for (int I = 0; I < 5000; ++I) {
+          char Line[32];
+          int N = std::snprintf(Line, sizeof(Line), "line %d\n", I);
+          Ctx.write(Line, static_cast<size_t>(N));
+        }
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_GT(R.Output.size(), 4096u * 8);
+  EXPECT_EQ(R.Output.substr(0, 7), "line 0\n");
+  EXPECT_NE(R.Output.find("line 4999\n"), std::string::npos);
+}
+
+TEST(ReplicationTest, MidStreamDivergenceCaughtAtBarrier) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        for (int I = 0; I < 3000; ++I) {
+          char Line[32];
+          // Replica 0 silently corrupts one line deep in the stream.
+          bool Corrupt = Ctx.replicaIndex() == 0 && I == 2000;
+          int N = std::snprintf(Line, sizeof(Line), "line %d\n",
+                                Corrupt ? -1 : I);
+          Ctx.write(Line, static_cast<size_t>(N));
+        }
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Fates[0], ReplicaFate::KilledByVote);
+  EXPECT_NE(R.Output.find("line 2000\n"), std::string::npos)
+      << "the committed stream carries the majority's data";
+  EXPECT_EQ(R.Output.find("line -1\n"), std::string::npos);
+}
+
+TEST(ReplicationTest, HungReplicaIsTimedOut) {
+  ReplicationOptions O = testOptions();
+  O.TimeoutMillis = 1500;
+  ReplicaManager Manager(O);
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        if (Ctx.replicaIndex() == 0) {
+          for (;;)
+            ::usleep(1000); // Infinite loop: never reaches the barrier.
+        }
+        Ctx.write("done\n");
+        return 0;
+      },
+      "");
+  // The two healthy replicas agree after the watchdog clears the hung one.
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.Output, "done\n");
+  EXPECT_EQ(R.Fates[0], ReplicaFate::TimedOut);
+}
+
+TEST(ReplicationTest, VirtualTimeIsIdenticalAcrossReplicas) {
+  ReplicaManager Manager(testOptions());
+  ReplicationResult R = Manager.run(
+      [](ReplicaContext &Ctx) {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "t=%llu\n",
+                      static_cast<unsigned long long>(
+                          Ctx.virtualTimeNanos()));
+        Ctx.write(Buf, std::strlen(Buf));
+        return 0;
+      },
+      "");
+  EXPECT_TRUE(R.Success) << "intercepted clocks keep replicas equivalent";
+}
+
+} // namespace
+} // namespace diehard

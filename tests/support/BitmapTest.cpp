@@ -1,0 +1,127 @@
+//===- tests/support/BitmapTest.cpp ---------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Bitmap.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace diehard {
+namespace {
+
+TEST(BitmapTest, StartsAllClear) {
+  Bitmap B(1000);
+  EXPECT_EQ(B.size(), 1000u);
+  EXPECT_EQ(B.count(), 0u);
+  for (size_t I = 0; I < 1000; ++I)
+    EXPECT_FALSE(B.test(I));
+}
+
+TEST(BitmapTest, SetAndClearRoundTrip) {
+  Bitmap B(128);
+  EXPECT_TRUE(B.trySet(5));
+  EXPECT_TRUE(B.test(5));
+  EXPECT_TRUE(B.tryClear(5));
+  EXPECT_FALSE(B.test(5));
+}
+
+TEST(BitmapTest, DoubleSetFails) {
+  Bitmap B(64);
+  EXPECT_TRUE(B.trySet(63));
+  EXPECT_FALSE(B.trySet(63)) << "second set of the same bit must fail";
+  EXPECT_TRUE(B.test(63));
+}
+
+TEST(BitmapTest, DoubleClearFails) {
+  Bitmap B(64);
+  EXPECT_FALSE(B.tryClear(10)) << "clearing a clear bit must fail";
+  B.trySet(10);
+  EXPECT_TRUE(B.tryClear(10));
+  EXPECT_FALSE(B.tryClear(10));
+}
+
+TEST(BitmapTest, CountTracksSets) {
+  Bitmap B(300);
+  for (size_t I = 0; I < 300; I += 3)
+    B.trySet(I);
+  EXPECT_EQ(B.count(), 100u);
+}
+
+TEST(BitmapTest, WordBoundaries) {
+  Bitmap B(130);
+  for (size_t I : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_TRUE(B.trySet(I)) << I;
+    EXPECT_TRUE(B.test(I)) << I;
+  }
+  EXPECT_EQ(B.count(), 6u);
+}
+
+TEST(BitmapTest, FindNextClearSkipsSetBits) {
+  Bitmap B(256);
+  for (size_t I = 0; I < 100; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 100u);
+  EXPECT_EQ(B.findNextClear(100), 100u);
+  EXPECT_EQ(B.findNextClear(101), 101u);
+}
+
+TEST(BitmapTest, FindNextClearFullBitmap) {
+  Bitmap B(64);
+  for (size_t I = 0; I < 64; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 64u) << "full bitmap reports size()";
+}
+
+TEST(BitmapTest, FindNextClearCrossesFullWords) {
+  Bitmap B(200);
+  for (size_t I = 0; I < 192; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(5), 192u);
+}
+
+TEST(BitmapTest, ResetClearsAndResizes) {
+  Bitmap B(10);
+  B.trySet(3);
+  B.reset(500);
+  EXPECT_EQ(B.size(), 500u);
+  EXPECT_EQ(B.count(), 0u);
+}
+
+TEST(BitmapTest, ClearKeepsSize) {
+  Bitmap B(77);
+  B.trySet(5);
+  B.trySet(76);
+  B.clear();
+  EXPECT_EQ(B.size(), 77u);
+  EXPECT_EQ(B.count(), 0u);
+}
+
+/// Property: a randomized set/clear workload keeps count() consistent with
+/// a reference std::set.
+TEST(BitmapTest, RandomizedAgainstReference) {
+  Bitmap B(512);
+  std::set<size_t> Reference;
+  Rng Rand(2024);
+  for (int Step = 0; Step < 20000; ++Step) {
+    size_t Index = Rand.nextBounded(512);
+    if (Rand.next() & 1) {
+      bool Inserted = Reference.insert(Index).second;
+      EXPECT_EQ(B.trySet(Index), Inserted);
+    } else {
+      bool Erased = Reference.erase(Index) > 0;
+      EXPECT_EQ(B.tryClear(Index), Erased);
+    }
+  }
+  EXPECT_EQ(B.count(), Reference.size());
+  for (size_t I = 0; I < 512; ++I)
+    EXPECT_EQ(B.test(I), Reference.count(I) > 0) << I;
+}
+
+} // namespace
+} // namespace diehard

@@ -1,0 +1,112 @@
+//===- tests/support/RngTest.cpp ------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include "support/RealRandomSource.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Matches = 0;
+  for (int I = 0; I < 1000; ++I)
+    Matches += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Matches, 5) << "nearby seeds must yield unrelated streams";
+}
+
+TEST(RngTest, ZeroSeedIsUsable) {
+  Rng R(0);
+  std::set<uint32_t> Values;
+  for (int I = 0; I < 100; ++I)
+    Values.insert(R.next());
+  EXPECT_GT(Values.size(), 90u) << "zero seed must not degenerate";
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng R(7);
+  std::vector<uint32_t> First;
+  for (int I = 0; I < 16; ++I)
+    First.push_back(R.next());
+  R.setSeed(7);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(R.next(), First[static_cast<size_t>(I)]);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng R(99);
+  for (uint32_t Bound : {1u, 2u, 3u, 10u, 255u, 4096u, 1000003u}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng R(123);
+  constexpr uint32_t Bound = 16;
+  constexpr int Samples = 160000;
+  int Counts[Bound] = {};
+  for (int I = 0; I < Samples; ++I)
+    ++Counts[R.nextBounded(Bound)];
+  // Expected 10000 per bucket; allow 5% deviation (far beyond 6 sigma).
+  for (uint32_t B = 0; B < Bound; ++B)
+    EXPECT_NEAR(Counts[B], Samples / Bound, Samples / Bound / 20)
+        << "bucket " << B;
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng R(5);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    double V = R.nextDouble();
+    ASSERT_GE(V, 0.0);
+    ASSERT_LT(V, 1.0);
+    Sum += V;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02) << "mean of U[0,1) samples";
+}
+
+TEST(RngTest, BitsAreBalanced) {
+  Rng R(77);
+  int Ones[32] = {};
+  constexpr int Samples = 20000;
+  for (int I = 0; I < Samples; ++I) {
+    uint32_t V = R.next();
+    for (int B = 0; B < 32; ++B)
+      Ones[B] += (V >> B) & 1;
+  }
+  for (int B = 0; B < 32; ++B)
+    EXPECT_NEAR(Ones[B], Samples / 2, Samples / 20)
+        << "bit " << B << " is biased";
+}
+
+TEST(RngTest, Next64CombinesTwoDraws) {
+  Rng A(11), B(11);
+  uint64_t V = A.next64();
+  uint64_t High = B.next();
+  uint64_t Low = B.next();
+  EXPECT_EQ(V, (High << 32) | Low);
+}
+
+TEST(RealRandomSourceTest, ProducesDistinctSeeds) {
+  // Astronomically unlikely to collide if the source works.
+  EXPECT_NE(realRandomSeed(), realRandomSeed());
+}
+
+} // namespace
+} // namespace diehard
