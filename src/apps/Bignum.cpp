@@ -12,9 +12,9 @@
 
 namespace diehard {
 
-Bignum::Bignum(Allocator &Heap) : Heap(&Heap) {}
+Bignum::Bignum(Allocator &Alloc) : Heap(&Alloc) {}
 
-Bignum::Bignum(Allocator &Heap, uint64_t Value) : Heap(&Heap) {
+Bignum::Bignum(Allocator &Alloc, uint64_t Value) : Heap(&Alloc) {
   if (Value == 0)
     return;
   reserve(2);

@@ -31,11 +31,11 @@ namespace diehard {
 /// Arbitrary-precision unsigned integer with allocator-backed digits.
 class Bignum {
 public:
-  /// Constructs zero. \p Heap must outlive the number.
-  explicit Bignum(Allocator &Heap);
+  /// Constructs zero. \p Alloc must outlive the number.
+  explicit Bignum(Allocator &Alloc);
 
   /// Constructs from a 64-bit value.
-  Bignum(Allocator &Heap, uint64_t Value);
+  Bignum(Allocator &Alloc, uint64_t Value);
 
   Bignum(const Bignum &Other);
   Bignum(Bignum &&Other) noexcept;

@@ -12,9 +12,9 @@
 
 namespace diehard {
 
-Cover::Cover(Allocator &Heap, int Variables)
-    : Heap(Heap), Variables(Variables) {
-  assert(Variables >= 1 && Variables <= 32 && "1..32 variables supported");
+Cover::Cover(Allocator &Alloc, int NumVars)
+    : Heap(Alloc), Variables(NumVars) {
+  assert(NumVars >= 1 && NumVars <= 32 && "1..32 variables supported");
 }
 
 Cover::~Cover() {

@@ -34,8 +34,8 @@ namespace diehard {
 /// cube node allocated from the injected allocator.
 class Cover {
 public:
-  /// Creates an empty cover over \p Variables variables (1..32).
-  Cover(Allocator &Heap, int Variables);
+  /// Creates an empty cover over \p NumVars variables (1..32).
+  Cover(Allocator &Alloc, int NumVars);
   Cover(const Cover &) = delete;
   Cover &operator=(const Cover &) = delete;
   ~Cover();

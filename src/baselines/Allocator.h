@@ -63,12 +63,11 @@ public:
 /// a lock-and-search allocator.
 class SlowSystemAllocator final : public Allocator {
 public:
-  /// \p WorkFactor scales the synthetic per-operation bookkeeping cost.
+  /// \p Factor scales the synthetic per-operation bookkeeping cost.
   /// The default is calibrated so the overall allocator cost is a few times
   /// the Lea baseline's, matching the Windows XP / GNU libc gap the paper
   /// describes (Section 7.2.2).
-  explicit SlowSystemAllocator(int WorkFactor = 60)
-      : WorkFactor(WorkFactor) {}
+  explicit SlowSystemAllocator(int Factor = 60) : WorkFactor(Factor) {}
 
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;

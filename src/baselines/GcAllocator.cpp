@@ -11,8 +11,8 @@
 
 namespace diehard {
 
-GcAllocator::GcAllocator(size_t ArenaBytes, size_t CollectThreshold)
-    : CollectThreshold(CollectThreshold) {
+GcAllocator::GcAllocator(size_t ArenaBytes, size_t Threshold)
+    : CollectThreshold(Threshold) {
   if (!Arena.map(ArenaBytes))
     return;
   Bump = static_cast<char *>(Arena.base());

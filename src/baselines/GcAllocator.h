@@ -38,10 +38,10 @@ namespace diehard {
 class GcAllocator final : public Allocator {
 public:
   /// Creates a collector with an arena of \p ArenaBytes; a collection is
-  /// triggered whenever \p CollectThreshold bytes have been allocated since
-  /// the previous collection.
+  /// triggered whenever \p Threshold bytes have been allocated since the
+  /// previous collection.
   explicit GcAllocator(size_t ArenaBytes = size_t(512) * 1024 * 1024,
-                       size_t CollectThreshold = 8 * 1024 * 1024);
+                       size_t Threshold = 8 * 1024 * 1024);
 
   void *allocate(size_t Size) override;
   /// Deliberate no-op: collectors ignore explicit frees.

@@ -29,8 +29,9 @@ class DieHardHeap;
 /// Checked libc functions bound to one heap instance.
 class CheckedLibc {
 public:
-  /// Binds the checked functions to \p Heap, which must outlive this object.
-  explicit CheckedLibc(const DieHardHeap &Heap) : Heap(Heap) {}
+  /// Binds the checked functions to \p Bound, which must outlive this
+  /// object.
+  explicit CheckedLibc(const DieHardHeap &Bound) : Heap(Bound) {}
 
   /// strcpy that never writes past the end of a heap destination object.
   /// \returns \p Dst. The copy is truncated (and still NUL-terminated when

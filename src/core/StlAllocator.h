@@ -41,9 +41,9 @@ public:
   using size_type = size_t;
   using difference_type = ptrdiff_t;
 
-  /// Binds the adapter to \p Heap, which must outlive every container
+  /// Binds the adapter to \p Bound, which must outlive every container
   /// using it.
-  explicit StlAllocator(DieHardHeap &Heap) noexcept : Heap(&Heap) {}
+  explicit StlAllocator(DieHardHeap &Bound) noexcept : Heap(&Bound) {}
 
   template <typename U>
   StlAllocator(const StlAllocator<U> &Other) noexcept : Heap(Other.heap()) {}

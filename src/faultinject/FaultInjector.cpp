@@ -8,9 +8,10 @@
 
 namespace diehard {
 
-FaultInjector::FaultInjector(Allocator &Inner, const AllocationTrace &Trace,
-                             const FaultConfig &Config)
-    : Inner(Inner), Trace(Trace), Config(Config), Rand(Config.Seed) {}
+FaultInjector::FaultInjector(Allocator &Underlying,
+                             const AllocationTrace &Log,
+                             const FaultConfig &Cfg)
+    : Inner(Underlying), Trace(Log), Config(Cfg), Rand(Cfg.Seed) {}
 
 void FaultInjector::runDuePrematureFrees() {
   while (!Pending.empty() && Pending.begin()->first <= Now) {

@@ -58,11 +58,11 @@ struct FaultStats {
 /// Allocator decorator injecting dangling-pointer and overflow faults.
 class FaultInjector final : public Allocator {
 public:
-  /// Wraps \p Inner. \p Trace is the allocation log from a traced run of the
-  /// same (deterministic) workload; it drives dangling injection. Both must
-  /// outlive this object.
-  FaultInjector(Allocator &Inner, const AllocationTrace &Trace,
-                const FaultConfig &Config);
+  /// Wraps \p Underlying. \p Log is the allocation log from a traced run of
+  /// the same (deterministic) workload; it drives dangling injection. Both
+  /// must outlive this object.
+  FaultInjector(Allocator &Underlying, const AllocationTrace &Log,
+                const FaultConfig &Cfg);
 
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;

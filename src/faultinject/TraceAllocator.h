@@ -39,8 +39,8 @@ using AllocationTrace = std::vector<AllocationRecord>;
 /// requests to an underlying allocator.
 class TraceAllocator final : public Allocator {
 public:
-  /// Wraps \p Inner, which must outlive this object.
-  explicit TraceAllocator(Allocator &Inner) : Inner(Inner) {}
+  /// Wraps \p Underlying, which must outlive this object.
+  explicit TraceAllocator(Allocator &Underlying) : Inner(Underlying) {}
 
   void *allocate(size_t Size) override;
   void deallocate(void *Ptr) override;

@@ -10,8 +10,8 @@
 
 namespace diehard {
 
-MiniSquid::MiniSquid(Allocator &Heap, const CheckedLibc *Checked)
-    : Heap(Heap), Checked(Checked) {}
+MiniSquid::MiniSquid(Allocator &Alloc, const CheckedLibc *Libc)
+    : Heap(Alloc), Checked(Libc) {}
 
 MiniSquid::~MiniSquid() {
   while (Entries != nullptr) {

@@ -40,9 +40,9 @@ namespace diehard {
 /// ill-formed input.
 class MiniSquid {
 public:
-  /// Serves requests using \p Heap. If \p Checked is non-null, string
+  /// Serves requests using \p Alloc. If \p Libc is non-null, string
   /// copies go through DieHard's checked libc functions.
-  explicit MiniSquid(Allocator &Heap, const CheckedLibc *Checked = nullptr);
+  explicit MiniSquid(Allocator &Alloc, const CheckedLibc *Libc = nullptr);
   ~MiniSquid();
 
   /// Handles one request line of the form "GET <url>". URLs longer than

@@ -12,8 +12,7 @@
 
 namespace diehard {
 
-SyntheticWorkload::SyntheticWorkload(const WorkloadParams &Params)
-    : Params(Params) {
+SyntheticWorkload::SyntheticWorkload(const WorkloadParams &P) : Params(P) {
   assert(Params.MinSize > 0 && Params.MinSize <= Params.MaxSize &&
          "degenerate size range");
 }

@@ -63,7 +63,7 @@ struct WorkloadResult {
 /// Runs one deterministic allocation workload against any allocator.
 class SyntheticWorkload {
 public:
-  explicit SyntheticWorkload(const WorkloadParams &Params);
+  explicit SyntheticWorkload(const WorkloadParams &P);
 
   /// Executes the workload on \p Target. Live-object bookkeeping is
   /// registered as a GC root range so collectors see the true live set.
