@@ -23,8 +23,9 @@ namespace diehard {
 namespace {
 
 /// Header of the per-replica shared-memory output buffer. The replica is
-/// the only writer of Written and Done; the manager only reads. Data bytes
-/// follow the header.
+/// the only writer of Written; Done is set by the replica on successful
+/// completion, or by the manager when it excludes a replica from voting.
+/// Data bytes follow the header.
 struct SharedBuffer {
   std::atomic<uint64_t> Written; ///< Bytes appended so far.
   std::atomic<uint32_t> Done;    ///< Replica finished writing.
@@ -105,12 +106,9 @@ ReplicationResult ReplicaManager::run(const ReplicaBody &Body,
     if (Slot.Buffer == nullptr)
       return Result;
 
-    int Fds[2];
-    if (::pipe(Fds) != 0)
-      return Result;
-
     uint64_t Seed = SeedGen.next64() | 1; // Nonzero.
-    pid_t Pid = ::fork();
+    int Fds[2] = {-1, -1};
+    pid_t Pid = ::pipe(Fds) == 0 ? ::fork() : -1;
     if (Pid == 0) {
       // Child: this process *is* replica I. Drop inherited write ends of
       // earlier replicas' stdin pipes so their EOF does not depend on us.
@@ -130,13 +128,31 @@ ReplicationResult ReplicaManager::run(const ReplicaBody &Body,
       Ctx.Shared = Slot.Buffer;
       Ctx.Capacity = Opts.BufferCapacity;
       int Code = Body(Ctx);
-      Slot.Buffer->Done.store(1, std::memory_order_release);
+      // Done marks *successful* completion only. A replica whose body
+      // failed must not present its buffer as finished output: the voter
+      // could otherwise commit a unanimous final round of failed replicas
+      // before waitpid observes their nonzero exits.
+      if (Code == 0)
+        Slot.Buffer->Done.store(1, std::memory_order_release);
       ::_exit(Code);
+    }
+    if (Pid < 0) {
+      // A slot that never spawned must be excluded from voting outright:
+      // it is not Live (reapDead skips it) and its Done would otherwise
+      // stay unset, so the barrier would wait on it forever.
+      if (Fds[0] >= 0) {
+        ::close(Fds[0]);
+        ::close(Fds[1]);
+      }
+      Slot.Buffer->Done.store(1, std::memory_order_release);
+      Slot.Voted = SIZE_MAX;
+      Result.Fates[static_cast<size_t>(I)] = ReplicaFate::SpawnFailed;
+      continue;
     }
     ::close(Fds[0]);
     Slot.Pid = Pid;
     Slot.StdinWriteFd = Fds[1];
-    Slot.Live = Pid > 0;
+    Slot.Live = true;
   }
 
   // Broadcast standard input to every replica, then close the pipes so the

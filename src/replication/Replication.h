@@ -96,6 +96,7 @@ enum class ReplicaFate {
   KilledByVote, ///< Produced output disagreeing with the majority.
   NonzeroExit,  ///< Exited with a nonzero status.
   TimedOut,     ///< Killed by the watchdog.
+  SpawnFailed,  ///< pipe() or fork() failed; the replica never ran.
 };
 
 /// Outcome of a replicated execution.
