@@ -106,6 +106,11 @@ public:
 
   size_t liveCount() const { return Objects.size(); }
 
+  /// Any live object, for draining the model at end of schedule.
+  void *anyLive() const {
+    return Objects.empty() ? nullptr : Objects.begin()->first;
+  }
+
 private:
   std::map<void *, std::vector<uint8_t>> Objects;
 };
@@ -165,6 +170,15 @@ void runDifferential(Allocator &Target, uint64_t Seed, int Steps,
       dropRoot(Victim);
       Target.deallocate(Victim);
     }
+  }
+  // Drain every object still live so allocators with no reclaiming
+  // destructor (notably the system malloc) end the schedule leak-free.
+  while (void *P = Model.anyLive()) {
+    Model.onFree(P);
+    if (::testing::Test::HasFatalFailure())
+      return;
+    dropRoot(P);
+    Target.deallocate(P);
   }
   Target.unregisterRootRange(RootMirror.data());
 }
