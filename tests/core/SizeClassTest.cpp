@@ -56,6 +56,30 @@ TEST(SizeClassTest, IsSmallBoundary) {
   EXPECT_FALSE(SizeClass::isSmall(SizeClass::MaxObjectSize + 1));
 }
 
+// Edge-case regression section: the exact boundaries of the class range.
+
+TEST(SizeClassEdgeTest, MaxObjectSizeIsLastClass) {
+  EXPECT_EQ(SizeClass::sizeToClass(SizeClass::MaxObjectSize),
+            SizeClass::NumClasses - 1);
+  EXPECT_EQ(SizeClass::sizeToClass(SizeClass::MaxObjectSize - 1),
+            SizeClass::NumClasses - 1);
+  EXPECT_EQ(SizeClass::roundUp(SizeClass::MaxObjectSize),
+            SizeClass::MaxObjectSize);
+}
+
+TEST(SizeClassEdgeTest, PenultimateClassBoundary) {
+  // 8 KB is class 10; one byte more crosses into the final class.
+  size_t Half = SizeClass::MaxObjectSize / 2;
+  EXPECT_EQ(SizeClass::sizeToClass(Half), SizeClass::NumClasses - 2);
+  EXPECT_EQ(SizeClass::sizeToClass(Half + 1), SizeClass::NumClasses - 1);
+}
+
+TEST(SizeClassEdgeTest, MinObjectSizeBoundary) {
+  EXPECT_EQ(SizeClass::sizeToClass(SizeClass::MinObjectSize), 0);
+  EXPECT_EQ(SizeClass::sizeToClass(SizeClass::MinObjectSize + 1), 1);
+  EXPECT_EQ(SizeClass::roundUp(1), SizeClass::MinObjectSize);
+}
+
 /// Property sweep: sizeToClass is the inverse of classToSize on the whole
 /// valid range (dlog2e of the request, minus 3 — Section 4.2).
 class SizeClassSweep : public ::testing::TestWithParam<int> {};

@@ -85,6 +85,54 @@ TEST(BitmapTest, FindNextClearCrossesFullWords) {
   EXPECT_EQ(B.findNextClear(5), 192u);
 }
 
+TEST(BitmapTest, FindNextClearWordBoundarySkip) {
+  // Word 0 entirely set: the full-word fast path must land exactly on bit
+  // 64, whether the scan starts at the word's first or last bit.
+  Bitmap B(128);
+  for (size_t I = 0; I < 64; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 64u);
+  EXPECT_EQ(B.findNextClear(63), 64u);
+  EXPECT_EQ(B.findNextClear(64), 64u);
+}
+
+TEST(BitmapTest, FindNextClearFromMidWordOfFullWord) {
+  // Starting mid-way through a fully-set word must not skip the clear bit
+  // at the start of the next word.
+  Bitmap B(192);
+  for (size_t I = 0; I < 64; ++I)
+    B.trySet(I);
+  B.trySet(65); // Bit 64 clear, bit 65 set.
+  EXPECT_EQ(B.findNextClear(10), 64u);
+  EXPECT_EQ(B.findNextClear(65), 66u);
+}
+
+TEST(BitmapTest, FindNextClearNonMultipleOf64Tail) {
+  // 70 bits: the last word holds only 6 valid bits. A fully-set bitmap must
+  // report size() == 70, not scan into the word's unused upper bits.
+  Bitmap B(70);
+  for (size_t I = 0; I < 70; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 70u);
+  EXPECT_EQ(B.findNextClear(69), 70u);
+  // With only the last valid bit clear, the scan must find exactly it.
+  B.tryClear(69);
+  EXPECT_EQ(B.findNextClear(64), 69u);
+  EXPECT_EQ(B.findNextClear(69), 69u);
+}
+
+TEST(BitmapTest, FindNextClearFromSizeIsSize) {
+  Bitmap B(100);
+  EXPECT_EQ(B.findNextClear(100), 100u) << "From == size() must be a no-op";
+}
+
+TEST(BitmapTest, FindNextClearOnlyLastBitClear) {
+  Bitmap B(128);
+  for (size_t I = 0; I < 127; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 127u);
+}
+
 TEST(BitmapTest, ResetClearsAndResizes) {
   Bitmap B(10);
   B.trySet(3);
