@@ -15,6 +15,7 @@
 
 #include "bench/BenchUtil.h"
 #include "core/DieHardHeap.h"
+#include "core/HeapAdapter.h"
 #include "replication/Replication.h"
 #include "workloads/SyntheticWorkload.h"
 
@@ -41,16 +42,7 @@ int replicaBody(ReplicaContext &Ctx) {
   P.MaxLive = 3000;
   P.Seed = 0xE5B;
 
-  class HeapAdapter final : public Allocator {
-  public:
-    explicit HeapAdapter(DieHardHeap &H) : H(H) {}
-    void *allocate(size_t Size) override { return H.allocate(Size); }
-    void deallocate(void *Ptr) override { H.deallocate(Ptr); }
-    const char *getName() const override { return "replica-heap"; }
-
-  private:
-    DieHardHeap &H;
-  } Adapter(Heap);
+  HeapAdapter Adapter(Heap, "replica-heap");
 
   SyntheticWorkload W(P);
   WorkloadResult R = W.run(Adapter);

@@ -1,0 +1,40 @@
+//===- core/HeapAdapter.h - DieHardHeap as an Allocator ---------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapts a DieHardHeap to the uniform Allocator facade so workloads,
+/// replica bodies, and benches can drive a replica-private heap through the
+/// same interface as the baseline allocators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_HEAPADAPTER_H
+#define DIEHARD_CORE_HEAPADAPTER_H
+
+#include "baselines/Allocator.h"
+#include "core/DieHardHeap.h"
+
+namespace diehard {
+
+/// Allocator facade over a DieHardHeap, which must outlive the adapter.
+class HeapAdapter final : public Allocator {
+public:
+  /// Wraps \p Target; \p AdapterName is returned by getName().
+  explicit HeapAdapter(DieHardHeap &Target, const char *AdapterName = "diehard")
+      : H(Target), Name(AdapterName) {}
+
+  void *allocate(size_t Size) override { return H.allocate(Size); }
+  void deallocate(void *Ptr) override { H.deallocate(Ptr); }
+  const char *getName() const override { return Name; }
+
+private:
+  DieHardHeap &H;
+  const char *Name;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_HEAPADAPTER_H

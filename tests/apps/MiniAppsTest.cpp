@@ -10,6 +10,7 @@
 #include "baselines/DieHardAllocator.h"
 #include "baselines/LeaAllocator.h"
 #include "core/DieHardHeap.h"
+#include "core/HeapAdapter.h"
 #include "replication/Replication.h"
 
 #include <gtest/gtest.h>
@@ -142,16 +143,7 @@ TEST(MiniLindsayTest, ReplicatedVoterCatchesTheLindsayBug) {
   auto Body = [](bool Buggy) {
     return [Buggy](ReplicaContext &Ctx) {
       DieHardHeap Heap(Ctx.heapOptions());
-      class HeapAdapter final : public Allocator {
-      public:
-        explicit HeapAdapter(DieHardHeap &H) : H(H) {}
-        void *allocate(size_t Size) override { return H.allocate(Size); }
-        void deallocate(void *Ptr) override { H.deallocate(Ptr); }
-        const char *getName() const override { return "lindsay"; }
-
-      private:
-        DieHardHeap &H;
-      } Adapter(Heap);
+      HeapAdapter Adapter(Heap, "lindsay");
       LindsayConfig Config;
       Config.Messages = 300;
       Config.BuggyUninitRead = Buggy;

@@ -15,6 +15,7 @@
 #include "baselines/DieHardAllocator.h"
 #include "core/CheckedLibc.h"
 #include "core/DieHardHeap.h"
+#include "core/HeapAdapter.h"
 #include "faultinject/FaultInjector.h"
 #include "faultinject/TraceAllocator.h"
 #include "replication/Replication.h"
@@ -148,16 +149,7 @@ TEST(ErrorAvoidanceIntegration, ReplicatedWorkloadMasksInjectedOverflow) {
   ReplicationResult R = Manager.run(
       [](ReplicaContext &Ctx) {
         DieHardHeap Heap(Ctx.heapOptions());
-        class HeapAdapter final : public Allocator {
-        public:
-          explicit HeapAdapter(DieHardHeap &H) : H(H) {}
-          void *allocate(size_t Size) override { return H.allocate(Size); }
-          void deallocate(void *Ptr) override { H.deallocate(Ptr); }
-          const char *getName() const override { return "replica"; }
-
-        private:
-          DieHardHeap &H;
-        } Adapter(Heap);
+        HeapAdapter Adapter(Heap, "replica");
 
         // Replica 0 suffers an overflow mid-run.
         if (Ctx.replicaIndex() == 0) {
