@@ -1,0 +1,139 @@
+//===- bench/bench_mt_scaling.cpp - multithreaded malloc scaling ----------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures how aggregate malloc/free throughput scales with threads, for a
+/// single global DieHard heap (shards = 1, the pre-sharding configuration)
+/// versus a per-thread-sharded heap (shards = CPU count). Each worker runs a
+/// fixed count of churn operations — allocate a random small size into a
+/// random slot, freeing the previous occupant — and the table reports
+/// aggregate operations per second at 1/2/4/8 threads plus the speedup of
+/// sharding at the highest thread count.
+///
+/// Usage: bench_mt_scaling [ops-per-thread] [shards]
+/// (defaults: 400000 ops, one shard per CPU)
+///
+/// The absolute numbers depend on the machine; the interesting outputs are
+/// the per-row scaling and the final sharded-vs-global ratio, which is the
+/// acceptance number for the sharding layer (>= 3x on a multicore box).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedHeap.h"
+#include "support/Rng.h"
+
+#include "bench/BenchUtil.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using diehard::Rng;
+using diehard::ShardedHeap;
+using diehard::ShardedHeapOptions;
+
+constexpr int SlotsPerThread = 256;
+constexpr size_t MaxRequest = 1024;
+
+/// One worker: `Ops` rounds of slot churn against `Heap`.
+void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops,
+                 std::atomic<bool> &Go, std::atomic<long> &Failed) {
+  Rng Rand(Seed);
+  std::vector<void *> Slots(SlotsPerThread, nullptr);
+  while (!Go.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  long Failures = 0;
+  for (long I = 0; I < Ops; ++I) {
+    size_t Slot = Rand.nextBounded(SlotsPerThread);
+    if (Slots[Slot] != nullptr)
+      Heap.deallocate(Slots[Slot]);
+    Slots[Slot] = Heap.allocate(1 + Rand.nextBounded(MaxRequest));
+    if (Slots[Slot] == nullptr)
+      ++Failures;
+  }
+  for (void *P : Slots)
+    if (P != nullptr)
+      Heap.deallocate(P);
+  if (Failures != 0)
+    Failed.fetch_add(Failures, std::memory_order_relaxed);
+}
+
+/// Runs `Threads` workers against a fresh heap with `Shards` shards and
+/// returns aggregate operations (1 alloc + amortized 1 free) per second.
+double measure(size_t Shards, int Threads, long OpsPerThread) {
+  ShardedHeapOptions Options;
+  Options.Heap.HeapSize = 384 * 1024 * 1024;
+  Options.Heap.Seed = 0x5EED + 17 * static_cast<uint64_t>(Threads);
+  Options.NumShards = Shards;
+  ShardedHeap Heap(Options);
+  if (!Heap.isValid()) {
+    std::fprintf(stderr, "heap reservation failed\n");
+    std::exit(1);
+  }
+
+  std::atomic<bool> Go{false};
+  std::atomic<long> Failed{0};
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<size_t>(Threads));
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back(churnWorker, std::ref(Heap),
+                         static_cast<uint64_t>(T) + 1, OpsPerThread,
+                         std::ref(Go), std::ref(Failed));
+
+  double Seconds = diehard::bench::timeSeconds([&] {
+    Go.store(true, std::memory_order_release);
+    for (std::thread &W : Workers)
+      W.join();
+  });
+  if (Failed.load() != 0)
+    std::fprintf(stderr, "  (%ld failed allocations)\n", Failed.load());
+  return static_cast<double>(OpsPerThread) * Threads / Seconds;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  long OpsPerThread = 400000;
+  if (argc > 1)
+    OpsPerThread = std::strtol(argv[1], nullptr, 10);
+  if (OpsPerThread <= 0)
+    OpsPerThread = 400000;
+
+  size_t Cpus = ShardedHeap::defaultShardCount();
+  if (argc > 2) {
+    long Shards = std::strtol(argv[2], nullptr, 10);
+    if (Shards > 0)
+      Cpus = static_cast<size_t>(Shards);
+  }
+  std::printf("mt scaling: %ld churn ops/thread, slots=%d, max size=%zu, "
+              "cpus=%zu\n",
+              OpsPerThread, SlotsPerThread, MaxRequest, Cpus);
+  diehard::bench::printRule();
+  std::printf("%8s  %12s  %12s  %8s\n", "threads", "global ops/s",
+              "sharded ops/s", "ratio");
+  diehard::bench::printRule();
+
+  const int ThreadCounts[] = {1, 2, 4, 8};
+  double GlobalAt8 = 0, ShardedAt8 = 0;
+  for (int Threads : ThreadCounts) {
+    double Global = measure(1, Threads, OpsPerThread);
+    double Sharded = measure(Cpus, Threads, OpsPerThread);
+    std::printf("%8d  %12.0f  %12.0f  %7.2fx\n", Threads, Global, Sharded,
+                Sharded / Global);
+    if (Threads == 8) {
+      GlobalAt8 = Global;
+      ShardedAt8 = Sharded;
+    }
+  }
+  diehard::bench::printRule();
+  std::printf("sharded (%zu shards) vs global at 8 threads: %.2fx\n", Cpus,
+              ShardedAt8 / GlobalAt8);
+  return 0;
+}

@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the Monte-Carlo simulators that cross-check the
+/// Section 6 closed forms.
+///
+//===----------------------------------------------------------------------===//
 
 #include "analysis/MonteCarlo.h"
 

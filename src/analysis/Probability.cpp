@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the Section 6 closed-form miss probabilities.
+///
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Probability.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the allocator-backed arbitrary-precision integer.
+///
+//===----------------------------------------------------------------------===//
 
 #include "apps/Bignum.h"
 

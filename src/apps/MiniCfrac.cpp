@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the cfrac-like continued-fraction workload.
+///
+//===----------------------------------------------------------------------===//
 
 #include "apps/MiniCfrac.h"
 

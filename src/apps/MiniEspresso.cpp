@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the espresso-like two-level logic minimizer.
+///
+//===----------------------------------------------------------------------===//
 
 #include "apps/MiniEspresso.h"
 

@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the lindsay-like hypercube simulator, including its
+/// signature uninitialized-read bug.
+///
+//===----------------------------------------------------------------------===//
 
 #include "apps/MiniLindsay.h"
 

@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the uniform Allocator facade and the system-malloc
+/// baseline.
+///
+//===----------------------------------------------------------------------===//
 
 #include "baselines/Allocator.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the adaptive (dynamically growing) DieHard heap.
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/AdaptiveHeap.h"
 
@@ -35,16 +40,20 @@ bool AdaptiveDieHardHeap::grow(int Class) {
     return false;
   Fresh.Slots = NewSlots;
   Fresh.SlotBase = State.TotalSlots;
-  Reserved += Bytes;
 
-  State.Regions.push_back(std::move(Fresh));
-  State.TotalSlots += NewSlots;
-
-  // Extend the bitmap, preserving existing allocation bits.
-  Bitmap Extended(State.TotalSlots);
+  // Extend the bitmap, preserving existing allocation bits. The mapping can
+  // fail (Bitmap is left empty); refuse the growth before committing any
+  // state, or allocate() would probe a zero-sized bitmap.
+  Bitmap Extended(State.TotalSlots + NewSlots);
+  if (Extended.size() != State.TotalSlots + NewSlots)
+    return false;
   for (size_t I = 0; I < State.Allocated.size(); ++I)
     if (State.Allocated.test(I))
       Extended.trySet(I);
+
+  Reserved += Bytes;
+  State.Regions.push_back(std::move(Fresh));
+  State.TotalSlots += NewSlots;
   State.Allocated = std::move(Extended);
   ++Stats.Growths;
   return true;

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the bounds-clamping libc replacements (Section 4.4).
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/CheckedLibc.h"
 

@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the randomized M-heap (Figure 2): random-probe
+/// allocation, validated frees, and the realloc/calloc wrappers.
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/DieHardHeap.h"
 
@@ -32,6 +38,12 @@ DieHardHeap::DieHardHeap(const DieHardOptions &Options) : Opts(Options) {
   for (int C = 0; C < SizeClass::NumClasses; ++C) {
     size_t Slots = PartitionSize / SizeClass::classToSize(C);
     IsAllocated[C].reset(Slots);
+    if (IsAllocated[C].size() != Slots) {
+      // Metadata mapping failed: render the heap invalid rather than
+      // faulting on the first probe.
+      Heap.unmap();
+      return;
+    }
     InUse[C] = 0;
     // Each region is allowed to become at most 1/M full (Section 4.1).
     Threshold[C] = static_cast<size_t>(static_cast<double>(Slots) / Opts.M);

@@ -129,6 +129,14 @@ public:
   /// reservation (live or not).
   bool isInHeap(const void *Ptr) const { return Heap.contains(Ptr); }
 
+  /// Base address of the small-object reservation (nullptr if invalid).
+  /// The sharded layer registers [heapBase(), heapBase() + heapBytes()) in
+  /// its address-range registry to route frees to the owning shard.
+  const void *heapBase() const { return Heap.base(); }
+
+  /// Size in bytes of the small-object reservation (0 if invalid).
+  size_t heapBytes() const { return Heap.size(); }
+
   /// Number of live small objects in size class \p Class.
   size_t liveInClass(int Class) const;
 

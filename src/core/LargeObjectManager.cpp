@@ -3,23 +3,88 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the mmap-with-guard-pages large-object manager and its
+/// allocator-re-entrancy-free open-addressing validity table.
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/LargeObjectManager.h"
 
-#include "support/MmapRegion.h"
+#include <utility>
 
 #include <sys/mman.h>
 
 namespace diehard {
 
+namespace {
+
+/// SplitMix64-style mix of the user address. Large-object pointers are
+/// page-aligned, so the low bits carry no information; mixing spreads the
+/// page number over the whole word.
+size_t hashPointer(const void *Ptr) {
+  uint64_t Z = reinterpret_cast<uintptr_t>(Ptr) >> 12;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return static_cast<size_t>(Z ^ (Z >> 31));
+}
+
+} // namespace
+
 LargeObjectManager::~LargeObjectManager() {
-  for (auto &[Ptr, E] : Table)
-    ::munmap(E.MapBase, E.MapSize);
+  for (size_t I = 0; I < Capacity; ++I) {
+    Slot &S = slots()[I];
+    if (S.User != nullptr && S.User != tombstone())
+      ::munmap(S.MapBase, S.MapSize);
+  }
+}
+
+bool LargeObjectManager::grow() {
+  size_t NewCapacity = Capacity == 0 ? 64 : Capacity * 2;
+  MmapRegion NewStorage;
+  if (!NewStorage.map(NewCapacity * sizeof(Slot)))
+    return false;
+  auto *NewSlots = static_cast<Slot *>(NewStorage.base());
+  // Fresh anonymous pages are demand-zero, so every User starts nullptr.
+  for (size_t I = 0; I < Capacity; ++I) {
+    const Slot &S = slots()[I];
+    if (S.User == nullptr || S.User == tombstone())
+      continue;
+    size_t Index = hashPointer(S.User) & (NewCapacity - 1);
+    while (NewSlots[Index].User != nullptr)
+      Index = (Index + 1) & (NewCapacity - 1);
+    NewSlots[Index] = S;
+  }
+  Storage = std::move(NewStorage);
+  Capacity = NewCapacity;
+  Used = Live; // Rehashing drops the tombstones.
+  return true;
+}
+
+LargeObjectManager::Slot *
+LargeObjectManager::findSlot(const void *Ptr) const {
+  if (Capacity == 0 || Ptr == nullptr || Ptr == tombstone())
+    return nullptr;
+  size_t Index = hashPointer(Ptr) & (Capacity - 1);
+  while (true) {
+    Slot &S = slots()[Index];
+    if (S.User == nullptr)
+      return nullptr; // Hit a never-used slot: Ptr is not in the table.
+    if (S.User == Ptr)
+      return &S;
+    Index = (Index + 1) & (Capacity - 1);
+  }
 }
 
 void *LargeObjectManager::allocate(size_t Size) {
   if (Size == 0)
     return nullptr;
+  // Keep the table at most 3/4 occupied (tombstones included) so probe
+  // chains stay short and the insert below cannot fail.
+  if ((Used + 1) * 4 > Capacity * 3 && !grow())
+    return nullptr;
+
   size_t Page = MmapRegion::pageSize();
   size_t Body = (Size + Page - 1) / Page * Page;
   // One guard page before and one after the object body.
@@ -33,22 +98,31 @@ void *LargeObjectManager::allocate(size_t Size) {
   // of the object faults immediately instead of silently corrupting memory.
   ::mprotect(Base, Page, PROT_NONE);
   ::mprotect(User + Body, Page, PROT_NONE);
-  Table.emplace(User, Entry{Base, Total, Size});
+
+  size_t Index = hashPointer(User) & (Capacity - 1);
+  while (slots()[Index].User != nullptr &&
+         slots()[Index].User != tombstone())
+    Index = (Index + 1) & (Capacity - 1);
+  if (slots()[Index].User == nullptr)
+    ++Used; // Reusing a tombstone keeps Used unchanged.
+  slots()[Index] = Slot{User, Base, Total, Size};
+  ++Live;
   return User;
 }
 
 bool LargeObjectManager::deallocate(void *Ptr) {
-  auto It = Table.find(Ptr);
-  if (It == Table.end())
+  Slot *S = findSlot(Ptr);
+  if (S == nullptr)
     return false; // Unknown or already-freed address: ignore, per the paper.
-  ::munmap(It->second.MapBase, It->second.MapSize);
-  Table.erase(It);
+  ::munmap(S->MapBase, S->MapSize);
+  S->User = tombstone();
+  --Live;
   return true;
 }
 
 size_t LargeObjectManager::getSize(const void *Ptr) const {
-  auto It = Table.find(Ptr);
-  return It == Table.end() ? 0 : It->second.UserSize;
+  const Slot *S = findSlot(Ptr);
+  return S == nullptr ? 0 : S->UserSize;
 }
 
 } // namespace diehard

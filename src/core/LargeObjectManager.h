@@ -11,18 +11,29 @@
 /// 4.3). Requests to free addresses that were never returned by
 /// allocateLargeObject are ignored.
 ///
+/// The validity table is an open-addressing hash table whose storage is its
+/// own anonymous mapping, so the manager never allocates through the global
+/// allocator. That matters under the malloc shim: the large-object path runs
+/// under a lock, and a table that malloc'd its nodes (the previous
+/// std::unordered_map) could re-enter that locked path from inside its own
+/// rehash — the table must be allocator-re-entrancy-free, not merely
+/// external-synchronization-safe.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIEHARD_CORE_LARGEOBJECTMANAGER_H
 #define DIEHARD_CORE_LARGEOBJECTMANAGER_H
 
+#include "support/MmapRegion.h"
+
 #include <cstddef>
-#include <unordered_map>
+#include <cstdint>
 
 namespace diehard {
 
 /// Allocates and frees large objects via mmap, with guard pages and a
-/// validity table.
+/// validity table. Not thread-safe; callers serialize access (ShardedHeap
+/// uses a dedicated large-object lock).
 class LargeObjectManager {
 public:
   LargeObjectManager() = default;
@@ -47,17 +58,36 @@ public:
   bool contains(const void *Ptr) const { return getSize(Ptr) != 0; }
 
   /// Number of live large objects.
-  size_t liveCount() const { return Table.size(); }
+  size_t liveCount() const { return Live; }
 
 private:
-  struct Entry {
+  /// One table slot, keyed by the user-visible pointer (first byte after
+  /// the front guard). User is nullptr for never-used slots and Tombstone
+  /// for erased ones.
+  struct Slot {
+    const void *User;
     void *MapBase;   ///< Base of the whole mapping including guards.
     size_t MapSize;  ///< Size of the whole mapping including guards.
     size_t UserSize; ///< Size the caller asked for.
   };
 
-  /// Keyed by the user-visible pointer (first byte after the front guard).
-  std::unordered_map<const void *, Entry> Table;
+  static const void *tombstone() {
+    return reinterpret_cast<const void *>(~uintptr_t(0));
+  }
+
+  /// Doubles (or initializes) the table and rehashes live entries.
+  /// \returns false if the new mapping cannot be obtained.
+  bool grow();
+
+  /// Returns the live slot for \p Ptr, or nullptr.
+  Slot *findSlot(const void *Ptr) const;
+
+  Slot *slots() const { return static_cast<Slot *>(Storage.base()); }
+
+  MmapRegion Storage; ///< Backing for the slot array.
+  size_t Capacity = 0; ///< Slot count; always a power of two (or 0).
+  size_t Live = 0;     ///< Live entries.
+  size_t Used = 0;     ///< Live entries plus tombstones.
 };
 
 } // namespace diehard

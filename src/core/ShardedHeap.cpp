@@ -1,0 +1,299 @@
+//===- core/ShardedHeap.cpp -----------------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the sharded heap: thread-token assignment, owner lookup
+/// through the AddressRangeMap, and the shared large-object path. See the
+/// header for the locking discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedHeap.h"
+
+#include "core/SizeClass.h"
+#include "support/RealRandomSource.h"
+
+#include <atomic>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace diehard {
+
+namespace {
+
+/// Decorrelates the per-shard seeds derived from a fixed base seed. Shard 0
+/// uses the base seed verbatim so a single-shard heap reproduces a lone
+/// DieHardHeap bit for bit.
+constexpr uint64_t ShardSeedStride = 0x9E3779B97F4A7C15ULL;
+
+/// Salt for the large-object fill RNG, so its stream is unrelated to any
+/// shard's placement stream under a fixed seed.
+constexpr uint64_t LargeSeedSalt = 0xD1E4A8D0B5E7ULL;
+
+/// Monotonic source of thread tokens. Process-global (not per heap): a
+/// thread keeps one token for its lifetime and maps it onto any instance's
+/// shard count with a modulo, which round-robins threads across shards and
+/// wraps naturally when threads outnumber shards.
+std::atomic<uint32_t> NextThreadToken{0};
+
+/// The token, offset by one so zero means "unassigned". Constant-initialized
+/// POD with initial-exec TLS: reading it never allocates, which matters
+/// inside the malloc shim.
+#if defined(__GNUC__)
+thread_local uint32_t ThreadToken __attribute__((tls_model("initial-exec"))) =
+    0;
+#else
+thread_local uint32_t ThreadToken = 0;
+#endif
+
+} // namespace
+
+size_t ShardedHeap::defaultShardCount() {
+  long Cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+  if (Cpus < 1)
+    Cpus = 1;
+  return static_cast<size_t>(Cpus) < MaxShards ? static_cast<size_t>(Cpus)
+                                               : MaxShards;
+}
+
+ShardedHeap::ShardedHeap(const ShardedHeapOptions &Options) : Opts(Options) {
+  size_t N = Opts.NumShards != 0 ? Opts.NumShards : defaultShardCount();
+  if (N > MaxShards)
+    N = MaxShards;
+
+  // Every shard reserves the full configured heap size (Hoard-style). The
+  // reservation is MAP_NORESERVE virtual space and the bitmaps are
+  // demand-zero mappings, so unused shards cost nothing physical — while a
+  // process that allocates from a single thread keeps the full capacity it
+  // was configured for instead of 1/N of it.
+  DieHardOptions PerShard = Opts.Heap;
+
+  Shards.reserve(N);
+  Valid = true;
+  for (size_t I = 0; I < N; ++I) {
+    DieHardOptions O = PerShard;
+    if (Opts.Heap.Seed != 0)
+      O.Seed = Opts.Heap.Seed + static_cast<uint64_t>(I) * ShardSeedStride;
+    Shards.push_back(std::make_unique<Shard>(O));
+    Valid = Valid && Shards.back()->Heap.isValid();
+  }
+  LargeOwner = static_cast<uint32_t>(N);
+
+  if (Valid) {
+    // Record each shard's contiguous small-object reservation; the array is
+    // immutable from here on, so ownerOf() reads it without locks.
+    ShardRanges.reserve(N);
+    for (size_t I = 0; I < N; ++I) {
+      const DieHardHeap &H = Shards[I]->Heap;
+      auto Begin = reinterpret_cast<uintptr_t>(H.heapBase());
+      ShardRanges.push_back(ShardRange{Begin, Begin + H.heapBytes()});
+    }
+  }
+
+  LargeRand.setSeed(Opts.Heap.Seed != 0 ? Opts.Heap.Seed ^ LargeSeedSalt
+                                        : realRandomSeed());
+}
+
+ShardedHeap::~ShardedHeap() = default;
+
+const DieHardHeap &ShardedHeap::shard(size_t Index) const {
+  return Shards[Index]->Heap;
+}
+
+uint32_t ShardedHeap::ownerOf(const void *Ptr) const {
+  auto P = reinterpret_cast<uintptr_t>(Ptr);
+  for (size_t I = 0; I < ShardRanges.size(); ++I)
+    if (P >= ShardRanges[I].Begin && P < ShardRanges[I].End)
+      return static_cast<uint32_t>(I);
+  return Registry.ownerOf(Ptr); // LargeOwner for live large objects.
+}
+
+size_t ShardedHeap::shardIndexOf(const void *Ptr) const {
+  uint32_t Owner = ownerOf(Ptr);
+  if (Owner == AddressRangeMap::NoOwner)
+    return SIZE_MAX;
+  return Owner;
+}
+
+uint32_t ShardedHeap::homeShard() const {
+  uint32_t T = ThreadToken;
+  if (T == 0) {
+    T = NextThreadToken.fetch_add(1, std::memory_order_relaxed) + 1;
+    ThreadToken = T;
+  }
+  return (T - 1) % static_cast<uint32_t>(Shards.size());
+}
+
+void *ShardedHeap::allocate(size_t Size) {
+  if (!Valid || Size == 0)
+    return nullptr;
+  if (Size > SizeClass::MaxObjectSize)
+    return allocateLarge(Size);
+  Shard &S = *Shards[homeShard()];
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Heap.allocate(Size);
+}
+
+void *ShardedHeap::allocateLarge(size_t Size) {
+  std::lock_guard<std::mutex> Guard(LargeLock);
+  void *Ptr = LargeObjects.allocate(Size);
+  if (Ptr == nullptr) {
+    ++LargeStats.FailedAllocations;
+    return nullptr;
+  }
+  if (!Registry.insert(Ptr, Size, LargeOwner)) {
+    // Registry node allocation failed (heap exhausted). Unwind: an object
+    // the registry cannot route could never be freed or sized.
+    LargeObjects.deallocate(Ptr);
+    ++LargeStats.FailedAllocations;
+    return nullptr;
+  }
+  ++LargeStats.LargeAllocations;
+  LargeLiveBytes += Size;
+  if (Opts.Heap.RandomFillObjects) {
+    // Same 32-bit fill as DieHardHeap::randomFill, from the dedicated
+    // large-object stream.
+    auto *Words = static_cast<uint32_t *>(Ptr);
+    for (size_t I = 0; I < (Size & ~size_t(3)) / sizeof(uint32_t); ++I)
+      Words[I] = LargeRand.next();
+  }
+  return Ptr;
+}
+
+void ShardedHeap::deallocate(void *Ptr) {
+  if (Ptr == nullptr)
+    return;
+  deallocateOwned(Ptr, ownerOf(Ptr));
+}
+
+void ShardedHeap::deallocateOwned(void *Ptr, uint32_t Owner) {
+  if (Owner == AddressRangeMap::NoOwner) {
+    // Foreign pointer: no shard, no large object. Count and ignore, matching
+    // DieHardHeap's treatment of addresses it does not own.
+    ForeignFrees.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (Owner == LargeOwner) {
+    deallocateLarge(Ptr);
+    return;
+  }
+  Shard &S = *Shards[Owner];
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  S.Heap.deallocate(Ptr);
+}
+
+void ShardedHeap::deallocateLarge(void *Ptr) {
+  std::lock_guard<std::mutex> Guard(LargeLock);
+  size_t Size = LargeObjects.getSize(Ptr);
+  if (Size != 0 && LargeObjects.deallocate(Ptr)) {
+    Registry.erase(Ptr);
+    ++LargeStats.LargeFrees;
+    LargeLiveBytes -= Size;
+    return;
+  }
+  // Interior pointer into a live large object, or a double free.
+  ++LargeStats.IgnoredFrees;
+}
+
+void *ShardedHeap::reallocate(void *Ptr, size_t NewSize) {
+  if (Ptr == nullptr)
+    return allocate(NewSize);
+  if (NewSize == 0) {
+    deallocate(Ptr);
+    return nullptr;
+  }
+  // Resolve the owner once; the size query, the in-place check and the
+  // final free all work against the same resolution.
+  uint32_t Owner = ownerOf(Ptr);
+  size_t OldSize = sizeOfOwned(Ptr, Owner);
+  if (OldSize == 0)
+    return nullptr; // Not one of ours; refuse rather than corrupt.
+
+  // Same in-place rule as DieHardHeap: small objects may shrink (or re-grow)
+  // within their rounded size class.
+  if (Owner != LargeOwner && NewSize <= OldSize && NewSize > OldSize / 2)
+    return Ptr;
+
+  void *Fresh = allocate(NewSize);
+  if (Fresh == nullptr)
+    return nullptr;
+  std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
+  deallocateOwned(Ptr, Owner);
+  return Fresh;
+}
+
+void *ShardedHeap::allocateZeroed(size_t Count, size_t Size) {
+  if (Count != 0 && Size > SIZE_MAX / Count)
+    return nullptr;
+  size_t Total = Count * Size;
+  void *Ptr = allocate(Total);
+  if (Ptr != nullptr)
+    std::memset(Ptr, 0, Total);
+  return Ptr;
+}
+
+size_t ShardedHeap::getObjectSize(const void *Ptr) const {
+  if (Ptr == nullptr)
+    return 0;
+  return sizeOfOwned(Ptr, ownerOf(Ptr));
+}
+
+size_t ShardedHeap::sizeOfOwned(const void *Ptr, uint32_t Owner) const {
+  if (Owner == AddressRangeMap::NoOwner)
+    return 0;
+  if (Owner == LargeOwner) {
+    std::lock_guard<std::mutex> Guard(LargeLock);
+    return LargeObjects.getSize(Ptr);
+  }
+  const Shard &S = *Shards[Owner];
+  std::lock_guard<std::mutex> Guard(S.Lock);
+  return S.Heap.getObjectSize(Ptr);
+}
+
+DieHardStats ShardedHeap::stats() const {
+  DieHardStats Total;
+  {
+    std::lock_guard<std::mutex> Guard(LargeLock);
+    Total = LargeStats;
+  }
+  Total.IgnoredFrees += ForeignFrees.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->Lock);
+    const DieHardStats &St = S->Heap.stats();
+    Total.Allocations += St.Allocations;
+    Total.Frees += St.Frees;
+    Total.LargeAllocations += St.LargeAllocations;
+    Total.LargeFrees += St.LargeFrees;
+    Total.FailedAllocations += St.FailedAllocations;
+    Total.IgnoredFrees += St.IgnoredFrees;
+    Total.Probes += St.Probes;
+    Total.ProbeFallbacks += St.ProbeFallbacks;
+  }
+  return Total;
+}
+
+size_t ShardedHeap::bytesLive() const {
+  size_t Total;
+  {
+    std::lock_guard<std::mutex> Guard(LargeLock);
+    Total = LargeLiveBytes;
+  }
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->Lock);
+    Total += S->Heap.bytesLive();
+  }
+  return Total;
+}
+
+size_t ShardedHeap::liveLargeObjects() const {
+  std::lock_guard<std::mutex> Guard(LargeLock);
+  return LargeObjects.liveCount();
+}
+
+uint64_t ShardedHeap::seed() const { return Shards[0]->Heap.seed(); }
+
+} // namespace diehard

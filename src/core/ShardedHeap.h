@@ -1,0 +1,223 @@
+//===- core/ShardedHeap.h - per-thread DieHard heap shards ------*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-scalable front end over N independent DieHardHeap shards. The
+/// paper's probabilistic-safety argument (Section 3) only requires that each
+/// randomized heap place objects uniformly within its own partitions, so the
+/// heap can be sharded per thread without weakening the miss-probability
+/// bounds: every shard is a full M-approximation of an infinite heap for the
+/// threads it serves, and the analysis in src/analysis applies per shard
+/// unchanged.
+///
+/// Each thread is pinned to a home shard by a cheap thread-local token
+/// (round-robin assignment on first allocation), so the common malloc/free
+/// pattern — free on the thread that allocated — touches exactly one
+/// per-shard mutex and scales with the number of cores. Frees, reallocs and
+/// size queries of pointers owned by *another* shard are routed to the
+/// owner by address: shard reservations are immutable after construction,
+/// so they are matched against a lock-free array of ranges, and live large
+/// objects (which come and go) are looked up in an AddressRangeMap under a
+/// shared lock. Objects above SizeClass::MaxObjectSize bypass the shards
+/// entirely and go to one shared LargeObjectManager behind its own lock, so
+/// large-object traffic never serializes small-object traffic.
+///
+/// With NumShards == 1, small-object behaviour is bit-identical to a lone
+/// DieHardHeap with the same options: one shard, same seed, same RNG stream,
+/// same slots (a unit test enforces this). The one divergence is replicated
+/// mode with large objects: a lone DieHardHeap fills those from the same
+/// stream that drives small-object placement, while this layer fills them
+/// from a dedicated stream — placement remains deterministic per seed
+/// (which is the invariant replica voting needs; replicas all run this
+/// code), it just differs from the unsharded heap's sequence. Replicas run
+/// one shard so scheduling cannot perturb their allocation order.
+///
+/// Lock ordering (a thread may hold at most one of each, acquired left to
+/// right): LargeLock -> AddressRangeMap lock -> shard lock. Nothing that
+/// runs under LargeLock allocates through the global allocator — the
+/// large-object validity table is mmap-backed precisely so that, under the
+/// malloc shim, the locked large path can never re-enter itself. (The
+/// registry's map nodes are small and are therefore served by a shard, a
+/// lock this path is allowed to take.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_SHARDEDHEAP_H
+#define DIEHARD_CORE_SHARDEDHEAP_H
+
+#include "core/DieHardHeap.h"
+#include "core/LargeObjectManager.h"
+#include "support/AddressRangeMap.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace diehard {
+
+/// Configuration for a ShardedHeap.
+struct ShardedHeapOptions {
+  /// Per-heap options applied to every shard. Each shard reserves the full
+  /// HeapSize, so a thread keeps the configured capacity no matter how
+  /// allocations distribute across threads; the cost is virtual address
+  /// space (MAP_NORESERVE) and lazily-committed bitmap pages, not physical
+  /// memory. Seed seeds shard 0 exactly; shard i derives a decorrelated
+  /// stream (Seed of 0 still draws true randomness per shard).
+  DieHardOptions Heap;
+
+  /// Number of shards. 0 selects one shard per online CPU. Values are
+  /// clamped to [1, MaxShards].
+  size_t NumShards = 0;
+};
+
+/// Thread-scalable sharded DieHard heap.
+///
+/// All public methods are thread-safe. Per-shard behaviour (placement
+/// randomization, 1/M thresholds, free validation) is delegated to
+/// DieHardHeap; this layer only adds routing and locking.
+class ShardedHeap {
+public:
+  /// Upper bound on NumShards; keeps token arithmetic and the per-shard
+  /// reservation split sane on absurd inputs.
+  static constexpr size_t MaxShards = 64;
+
+  /// Creates the shards per \p Options. As with DieHardHeap, a reservation
+  /// failure leaves the heap unusable rather than throwing: isValid() turns
+  /// false and every allocation returns nullptr.
+  explicit ShardedHeap(const ShardedHeapOptions &Options = ShardedHeapOptions());
+
+  ShardedHeap(const ShardedHeap &) = delete;
+  ShardedHeap &operator=(const ShardedHeap &) = delete;
+  ~ShardedHeap();
+
+  /// True if every shard's backing reservation succeeded.
+  bool isValid() const { return Valid; }
+
+  /// Allocates \p Size bytes from the calling thread's home shard, or from
+  /// the shared large-object path when \p Size exceeds
+  /// SizeClass::MaxObjectSize. \returns nullptr on failure, as DieHardHeap.
+  void *allocate(size_t Size);
+
+  /// Frees \p Ptr on whichever shard owns it, regardless of which thread
+  /// allocated it. Invalid, double and foreign frees are validated by the
+  /// owner and ignored, exactly as in DieHardHeap.
+  void deallocate(void *Ptr);
+
+  /// C realloc semantics. The object may migrate between shards (the new
+  /// block comes from the calling thread's home shard) and across the
+  /// small/large boundary.
+  void *reallocate(void *Ptr, size_t NewSize);
+
+  /// Zero-initialized allocation (C calloc semantics, overflow-checked).
+  void *allocateZeroed(size_t Count, size_t Size);
+
+  /// Usable size of the object containing \p Ptr (see
+  /// DieHardHeap::getObjectSize), 0 if \p Ptr is not a live object of any
+  /// shard.
+  size_t getObjectSize(const void *Ptr) const;
+
+  /// Number of shards (resolved; never 0).
+  size_t numShards() const { return Shards.size(); }
+
+  /// Read-only access to shard \p Index's heap, for tests and diagnostics.
+  /// Only safe when no other thread is mutating the heap.
+  const DieHardHeap &shard(size_t Index) const;
+
+  /// Index of the shard owning \p Ptr, numShards() for a live large object,
+  /// or SIZE_MAX if no shard owns it.
+  size_t shardIndexOf(const void *Ptr) const;
+
+  /// The calling thread's home shard index.
+  size_t homeShardIndex() const { return homeShard(); }
+
+  /// Behaviour counters aggregated across every shard and the large-object
+  /// path. Takes every lock briefly; intended for tests and reporting, not
+  /// hot paths.
+  DieHardStats stats() const;
+
+  /// Bytes currently live across all shards and large objects.
+  size_t bytesLive() const;
+
+  /// Number of live large objects.
+  size_t liveLargeObjects() const;
+
+  /// The resolved seed of shard 0 (equal to DieHardHeap::seed() of a
+  /// single-shard heap with the same options).
+  uint64_t seed() const;
+
+  /// The options this instance was built with (NumShards as passed, possibly
+  /// 0; numShards() reports the resolved count).
+  const ShardedHeapOptions &options() const { return Opts; }
+
+  /// One shard per online CPU, clamped to [1, MaxShards].
+  static size_t defaultShardCount();
+
+private:
+  /// A DieHardHeap plus its lock, padded onto its own cache lines so shard
+  /// locks do not false-share.
+  struct alignas(64) Shard {
+    explicit Shard(const DieHardOptions &HeapOpts) : Heap(HeapOpts) {}
+    mutable std::mutex Lock;
+    DieHardHeap Heap;
+  };
+
+  /// Returns the calling thread's home shard index (assigning a token on
+  /// first use).
+  uint32_t homeShard() const;
+
+  /// Resolves the owner of \p Ptr: a shard index, LargeOwner, or
+  /// AddressRangeMap::NoOwner. Shard reservations are matched lock-free
+  /// against the immutable range array; only the (rarer) large-object case
+  /// touches the registry's lock.
+  uint32_t ownerOf(const void *Ptr) const;
+
+  /// getObjectSize / deallocate against an already-resolved owner.
+  size_t sizeOfOwned(const void *Ptr, uint32_t Owner) const;
+  void deallocateOwned(void *Ptr, uint32_t Owner);
+
+  /// Large-object path (caller verified Size > SizeClass::MaxObjectSize).
+  void *allocateLarge(size_t Size);
+  void deallocateLarge(void *Ptr);
+
+  ShardedHeapOptions Opts;
+  bool Valid = false;
+  std::vector<std::unique_ptr<Shard>> Shards;
+
+  /// Owner id used for large objects (== numShards()).
+  uint32_t LargeOwner = 0;
+
+  /// One [begin, end) per shard, fixed at construction and read without
+  /// locks by ownerOf().
+  struct ShardRange {
+    uintptr_t Begin;
+    uintptr_t End;
+  };
+  std::vector<ShardRange> ShardRanges;
+
+  /// Live large objects only. Mutated exclusively under LargeLock, so a
+  /// concurrent unmap-then-remap of the same address cannot drop a fresh
+  /// entry.
+  AddressRangeMap Registry;
+
+  mutable std::mutex LargeLock;
+  LargeObjectManager LargeObjects;
+  Rng LargeRand;                ///< Fills large objects in replica mode.
+  DieHardStats LargeStats;      ///< Large-path counters (under LargeLock).
+  size_t LargeLiveBytes = 0;
+
+  /// Frees of pointers no shard or large object owns (e.g. pre-shim
+  /// allocations of the dynamic loader). Atomic so the foreign-free path
+  /// does not contend with the syscall-heavy large path.
+  mutable std::atomic<uint64_t> ForeignFrees{0};
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_SHARDEDHEAP_H

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the probabilistic fault injector (Section 7.3.1).
+///
+//===----------------------------------------------------------------------===//
 
 #include "faultinject/FaultInjector.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the tracing allocator that records allocation logs.
+///
+//===----------------------------------------------------------------------===//
 
 #include "faultinject/TraceAllocator.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of allocation-log persistence (diehard-trace v1).
+///
+//===----------------------------------------------------------------------===//
 
 #include "faultinject/TraceIO.h"
 

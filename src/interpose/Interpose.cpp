@@ -7,25 +7,40 @@
 /// \file
 /// The libdiehard.so shim (Section 5.1). Loading this library with
 /// LD_PRELOAD redirects all malloc/free calls of an unmodified binary to a
-/// process-global DieHard heap — "DieHard works with binaries and supports
-/// any language using explicit allocation". The replicated launcher points
-/// LD_PRELOAD at this library for every replica.
+/// process-global sharded DieHard heap — "DieHard works with binaries and
+/// supports any language using explicit allocation". The replicated launcher
+/// points LD_PRELOAD at this library for every replica.
 ///
 /// Configuration via the environment:
-///   DIEHARD_HEAP_SIZE   total heap reservation in bytes (default 384 MB)
+///   DIEHARD_HEAP_SIZE   heap reservation in bytes (default 384 MB),
+///                       reserved per shard (lazily committed, so shards
+///                       cost address space rather than memory)
 ///   DIEHARD_M           expansion factor M (default 2)
 ///   DIEHARD_SEED        RNG seed; 0 or unset = truly random per process
+///   DIEHARD_SHARDS      heap shard count; unset/0 = one per CPU, clamped to
+///                       [1, 64]. Replicated mode defaults to 1 so a
+///                       replica's allocation sequence stays deterministic
+///                       per seed regardless of thread scheduling.
 ///   DIEHARD_REPLICATED  "1" enables random object fill (replica mode)
 ///
-/// Re-entrancy: constructing the heap allocates metadata (the bitmaps),
-/// which re-enters malloc on the same thread. Those nested requests are
-/// served from a static bootstrap arena; frees of bootstrap memory are
-/// ignored forever after.
+/// Locking: there is no global malloc lock. After initialization every
+/// entry point goes straight into ShardedHeap, which locks only the
+/// calling thread's home shard (or the owner of the freed pointer, or the
+/// dedicated large-object lock). The one remaining global mutex is a narrow
+/// constructor guard that serializes first-time heap construction and is
+/// never touched again once the heap pointer is published.
+///
+/// Re-entrancy: constructing the heap allocates metadata (bitmaps and the
+/// shard address registry), which re-enters malloc on the same thread. The
+/// constructor guard is recursive, and those nested requests are served from
+/// a static bootstrap arena; frees of bootstrap memory are ignored forever
+/// after.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/DieHardHeap.h"
+#include "core/ShardedHeap.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -33,26 +48,28 @@
 
 #include <pthread.h>
 
-using diehard::DieHardHeap;
 using diehard::DieHardOptions;
+using diehard::ShardedHeap;
+using diehard::ShardedHeapOptions;
 
 namespace {
 
-// A recursive lock: the nested (bootstrap) malloc during heap construction
-// runs on the same thread that already holds it.
-pthread_mutex_t TheLock = PTHREAD_RECURSIVE_MUTEX_INITIALIZER_NP;
+// Narrow constructor guard: recursive, because the nested (bootstrap)
+// mallocs during heap construction run on the same thread that already
+// holds it. Only taken while TheHeap is still null.
+pthread_mutex_t ConstructionLock = PTHREAD_RECURSIVE_MUTEX_INITIALIZER_NP;
 
 struct LockGuard {
-  LockGuard() { pthread_mutex_lock(&TheLock); }
-  ~LockGuard() { pthread_mutex_unlock(&TheLock); }
+  LockGuard() { pthread_mutex_lock(&ConstructionLock); }
+  ~LockGuard() { pthread_mutex_unlock(&ConstructionLock); }
 };
 
 // Bootstrap arena for allocations made while the heap itself is being
-// constructed (bitmap storage and friends).
+// constructed (bitmap storage, registry nodes and friends).
 constexpr size_t BootstrapBytes = 4 << 20;
 alignas(16) char BootstrapArena[BootstrapBytes];
 size_t BootstrapUsed = 0;
-bool ConstructingHeap = false;
+bool ConstructingHeap = false; // Guarded by ConstructionLock.
 
 bool isBootstrapPointer(const void *Ptr) {
   const char *P = static_cast<const char *>(Ptr);
@@ -68,8 +85,17 @@ void *bootstrapAllocate(size_t Size) {
   return Ptr;
 }
 
-alignas(DieHardHeap) char HeapStorage[sizeof(DieHardHeap)];
-DieHardHeap *TheHeap = nullptr;
+/// realloc support: bootstrap blocks have no recorded size, so copy the
+/// requested size, clamped to the end of the arena so the read cannot run
+/// past it.
+void copyFromBootstrap(void *Fresh, const void *Ptr, size_t Size) {
+  size_t Avail = static_cast<size_t>(BootstrapArena + BootstrapBytes -
+                                     static_cast<const char *>(Ptr));
+  std::memcpy(Fresh, Ptr, Size < Avail ? Size : Avail);
+}
+
+alignas(ShardedHeap) char HeapStorage[sizeof(ShardedHeap)];
+std::atomic<ShardedHeap *> TheHeap{nullptr};
 
 size_t envSize(const char *Name, size_t Default) {
   const char *V = std::getenv(Name);
@@ -89,22 +115,51 @@ double envDouble(const char *Name, double Default) {
   return End != V && Parsed > 1.0 ? Parsed : Default;
 }
 
-DieHardHeap *getHeap() {
-  if (TheHeap != nullptr)
-    return TheHeap;
+/// Resolves the shard count: DIEHARD_SHARDS wins; otherwise replicas get a
+/// single deterministic shard and stand-alone processes one shard per CPU
+/// (0 lets ShardedHeap ask the OS).
+size_t envShards(bool Replicated) {
+  size_t Explicit = envSize("DIEHARD_SHARDS", 0);
+  if (Explicit != 0)
+    return Explicit < ShardedHeap::MaxShards ? Explicit
+                                             : ShardedHeap::MaxShards;
+  return Replicated ? 1 : 0;
+}
+
+/// Constructs the heap on first use. Must be called with ConstructionLock
+/// held and ConstructingHeap false.
+ShardedHeap *constructHeap() {
   ConstructingHeap = true;
-  DieHardOptions Options;
-  Options.HeapSize = envSize("DIEHARD_HEAP_SIZE", Options.HeapSize);
-  Options.M = envDouble("DIEHARD_M", Options.M);
-  Options.Seed = envSize("DIEHARD_SEED", 0);
+  ShardedHeapOptions Options;
+  Options.Heap.HeapSize = envSize("DIEHARD_HEAP_SIZE", Options.Heap.HeapSize);
+  Options.Heap.M = envDouble("DIEHARD_M", Options.Heap.M);
+  Options.Heap.Seed = envSize("DIEHARD_SEED", 0);
   const char *Replicated = std::getenv("DIEHARD_REPLICATED");
-  if (Replicated != nullptr && Replicated[0] == '1') {
-    Options.RandomFillObjects = true;
-    Options.RandomFillOnFree = true;
+  bool IsReplica = Replicated != nullptr && Replicated[0] == '1';
+  if (IsReplica) {
+    Options.Heap.RandomFillObjects = true;
+    Options.Heap.RandomFillOnFree = true;
   }
-  TheHeap = new (HeapStorage) DieHardHeap(Options);
+  Options.NumShards = envShards(IsReplica);
+  ShardedHeap *H = new (HeapStorage) ShardedHeap(Options);
   ConstructingHeap = false;
-  return TheHeap;
+  TheHeap.store(H, std::memory_order_release);
+  return H;
+}
+
+/// The slow path shared by the allocating entry points: either we are the
+/// constructing thread re-entering malloc (serve from the arena, signalled
+/// by returning null through \p FromBootstrap), or the heap needs to be
+/// (raced to be) constructed.
+ShardedHeap *getHeapSlow(bool &FromBootstrap) {
+  LockGuard Guard;
+  if (ConstructingHeap) {
+    FromBootstrap = true;
+    return nullptr;
+  }
+  FromBootstrap = false;
+  ShardedHeap *H = TheHeap.load(std::memory_order_relaxed);
+  return H != nullptr ? H : constructHeap();
 }
 
 } // namespace
@@ -112,47 +167,61 @@ DieHardHeap *getHeap() {
 extern "C" {
 
 void *malloc(size_t Size) {
-  LockGuard Guard;
-  if (ConstructingHeap)
-    return bootstrapAllocate(Size);
-  return getHeap()->allocate(Size != 0 ? Size : 1);
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr) {
+    bool FromBootstrap;
+    H = getHeapSlow(FromBootstrap);
+    if (FromBootstrap)
+      return bootstrapAllocate(Size);
+  }
+  return H->allocate(Size != 0 ? Size : 1);
 }
 
 void free(void *Ptr) {
-  if (Ptr == nullptr)
-    return;
-  LockGuard Guard;
-  if (isBootstrapPointer(Ptr) || TheHeap == nullptr)
-    return; // Bootstrap memory is permanent; pre-heap frees are foreign.
-  TheHeap->deallocate(Ptr);
+  if (Ptr == nullptr || isBootstrapPointer(Ptr))
+    return; // Bootstrap memory is permanent.
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr)
+    return; // Pre-heap frees are foreign.
+  H->deallocate(Ptr);
 }
 
 void *calloc(size_t Count, size_t Size) {
-  LockGuard Guard;
-  if (ConstructingHeap) {
-    if (Count != 0 && Size > SIZE_MAX / Count)
-      return nullptr;
-    void *Ptr = bootstrapAllocate(Count * Size);
-    if (Ptr != nullptr)
-      std::memset(Ptr, 0, Count * Size);
-    return Ptr;
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr) {
+    bool FromBootstrap;
+    H = getHeapSlow(FromBootstrap);
+    if (FromBootstrap) {
+      if (Count != 0 && Size > SIZE_MAX / Count)
+        return nullptr;
+      void *Ptr = bootstrapAllocate(Count * Size);
+      if (Ptr != nullptr)
+        std::memset(Ptr, 0, Count * Size);
+      return Ptr;
+    }
   }
-  return getHeap()->allocateZeroed(Count, Size != 0 ? Size : 1);
+  return H->allocateZeroed(Count, Size != 0 ? Size : 1);
 }
 
 void *realloc(void *Ptr, size_t Size) {
-  LockGuard Guard;
-  if (ConstructingHeap)
-    return bootstrapAllocate(Size);
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr) {
+    bool FromBootstrap;
+    H = getHeapSlow(FromBootstrap);
+    if (FromBootstrap) {
+      void *Fresh = bootstrapAllocate(Size);
+      if (Fresh != nullptr && Ptr != nullptr && isBootstrapPointer(Ptr))
+        copyFromBootstrap(Fresh, Ptr, Size);
+      return Fresh;
+    }
+  }
   if (Ptr != nullptr && isBootstrapPointer(Ptr)) {
-    // Bootstrap blocks have no recorded size; conservatively copy `Size`
-    // bytes (bootstrap blocks only ever grow during construction).
-    void *Fresh = getHeap()->allocate(Size);
+    void *Fresh = H->allocate(Size);
     if (Fresh != nullptr)
-      std::memcpy(Fresh, Ptr, Size);
+      copyFromBootstrap(Fresh, Ptr, Size);
     return Fresh;
   }
-  return getHeap()->reallocate(Ptr, Size);
+  return H->reallocate(Ptr, Size);
 }
 
 int posix_memalign(void **Out, size_t Alignment, size_t Size) {
@@ -162,13 +231,17 @@ int posix_memalign(void **Out, size_t Alignment, size_t Size) {
   // alignments are not supported by the randomized layout.
   if (Alignment > 4096)
     return ENOMEM;
-  LockGuard Guard;
-  if (ConstructingHeap) {
-    *Out = bootstrapAllocate(Size < Alignment ? Alignment : Size);
-    return *Out != nullptr ? 0 : ENOMEM;
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr) {
+    bool FromBootstrap;
+    H = getHeapSlow(FromBootstrap);
+    if (FromBootstrap) {
+      *Out = bootstrapAllocate(Size < Alignment ? Alignment : Size);
+      return *Out != nullptr ? 0 : ENOMEM;
+    }
   }
   size_t Request = Size < Alignment ? Alignment : Size;
-  *Out = getHeap()->allocate(Request != 0 ? Request : 1);
+  *Out = H->allocate(Request != 0 ? Request : 1);
   return *Out != nullptr ? 0 : ENOMEM;
 }
 
@@ -183,12 +256,12 @@ void *memalign(size_t Alignment, size_t Size) {
 }
 
 size_t malloc_usable_size(void *Ptr) {
-  if (Ptr == nullptr)
+  if (Ptr == nullptr || isBootstrapPointer(Ptr))
     return 0;
-  LockGuard Guard;
-  if (isBootstrapPointer(Ptr) || TheHeap == nullptr)
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr)
     return 0;
-  return TheHeap->getObjectSize(Ptr);
+  return H->getObjectSize(Ptr);
 }
 
 } // extern "C"

@@ -3,6 +3,13 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the replica manager: process spawning, input
+/// broadcast, shared-memory output chunks, and barrier voting
+/// (Section 5.2).
+///
+//===----------------------------------------------------------------------===//
 
 #include "replication/Replication.h"
 

@@ -1,0 +1,69 @@
+//===- support/AddressRangeMap.cpp ----------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the range registry: an ordered map keyed by range begin,
+/// probed with one upper_bound per lookup under a shared lock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/AddressRangeMap.h"
+
+#include <cassert>
+#include <mutex>
+#include <new>
+
+namespace diehard {
+
+bool AddressRangeMap::insert(const void *Begin, size_t Bytes,
+                             uint32_t Owner) {
+  assert(Owner != NoOwner && "NoOwner is reserved for lookup misses");
+  assert(Bytes != 0 && "empty ranges are not representable");
+  auto B = reinterpret_cast<uintptr_t>(Begin);
+  try {
+    std::unique_lock<std::shared_mutex> Guard(Lock);
+    Ranges.insert_or_assign(B, Range{B + Bytes, Owner});
+  } catch (const std::bad_alloc &) {
+    // Node allocation failed (heap exhausted). Report rather than throw:
+    // under the malloc shim this call sits inside extern "C" malloc, where
+    // an escaping exception would terminate the process instead of letting
+    // malloc return nullptr.
+    return false;
+  }
+  return true;
+}
+
+bool AddressRangeMap::erase(const void *Begin) {
+  auto B = reinterpret_cast<uintptr_t>(Begin);
+  // Extract under the lock but destroy the node after releasing it: under
+  // the malloc shim, freeing the node re-enters deallocate -> ownerOf, and
+  // taking the read lock while this thread holds the write lock would
+  // deadlock (EDEADLK from pthread_rwlock_rdlock).
+  std::map<uintptr_t, Range>::node_type Node;
+  {
+    std::unique_lock<std::shared_mutex> Guard(Lock);
+    Node = Ranges.extract(B);
+  }
+  return !Node.empty();
+}
+
+uint32_t AddressRangeMap::ownerOf(const void *Ptr) const {
+  auto P = reinterpret_cast<uintptr_t>(Ptr);
+  std::shared_lock<std::shared_mutex> Guard(Lock);
+  // The candidate is the last range whose begin is <= P.
+  auto It = Ranges.upper_bound(P);
+  if (It == Ranges.begin())
+    return NoOwner;
+  --It;
+  return P < It->second.End ? It->second.Owner : NoOwner;
+}
+
+size_t AddressRangeMap::size() const {
+  std::shared_lock<std::shared_mutex> Guard(Lock);
+  return Ranges.size();
+}
+
+} // namespace diehard

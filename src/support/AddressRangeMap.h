@@ -1,0 +1,74 @@
+//===- support/AddressRangeMap.h - address range -> owner lookup -*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe map from half-open address ranges to small integer owner
+/// ids. The sharded heap uses it to recognize live large objects when
+/// routing a free/realloc/size query of an arbitrary pointer (shard
+/// reservations, being immutable after construction, are routed by a
+/// lock-free array instead). Reads vastly outnumber writes, so lookups take
+/// a shared lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_SUPPORT_ADDRESSRANGEMAP_H
+#define DIEHARD_SUPPORT_ADDRESSRANGEMAP_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+
+namespace diehard {
+
+/// Thread-safe registry of disjoint [begin, end) address ranges, each tagged
+/// with a 32-bit owner id.
+///
+/// Ranges must not overlap; this is the caller's responsibility (heap
+/// reservations and mmap'd large objects are disjoint by construction).
+/// Mutating calls allocate through the global allocator, so a malloc shim
+/// must only invoke them while it can absorb re-entrant allocation (see
+/// ShardedHeap for the lock ordering that makes this safe).
+class AddressRangeMap {
+public:
+  /// Returned by ownerOf() for addresses no range covers.
+  static constexpr uint32_t NoOwner = UINT32_MAX;
+
+  AddressRangeMap() = default;
+  AddressRangeMap(const AddressRangeMap &) = delete;
+  AddressRangeMap &operator=(const AddressRangeMap &) = delete;
+
+  /// Registers [\p Begin, \p Begin + \p Bytes) as owned by \p Owner.
+  /// \p Owner must not be NoOwner and \p Bytes must be nonzero.
+  /// \returns false if node storage could not be allocated (the map is
+  /// unchanged); never throws, so a malloc shim can call it on an
+  /// exhausted heap and still return nullptr to its caller.
+  bool insert(const void *Begin, size_t Bytes, uint32_t Owner);
+
+  /// Removes the range that starts exactly at \p Begin. \returns true if a
+  /// range was removed.
+  bool erase(const void *Begin);
+
+  /// Returns the owner id of the range containing \p Ptr, or NoOwner.
+  uint32_t ownerOf(const void *Ptr) const;
+
+  /// Number of registered ranges.
+  size_t size() const;
+
+private:
+  struct Range {
+    uintptr_t End;
+    uint32_t Owner;
+  };
+
+  mutable std::shared_mutex Lock;
+  /// Keyed by range begin; ordered so a lookup is one upper_bound probe.
+  std::map<uintptr_t, Range> Ranges;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_SUPPORT_ADDRESSRANGEMAP_H

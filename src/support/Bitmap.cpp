@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the out-of-line Bitmap operations (popcount and the
+/// linear clear-bit scan).
+///
+//===----------------------------------------------------------------------===//
 
 #include "support/Bitmap.h"
 
@@ -12,15 +18,16 @@ namespace diehard {
 
 size_t Bitmap::count() const {
   size_t Total = 0;
-  for (uint64_t W : Words)
-    Total += static_cast<size_t>(std::popcount(W));
+  size_t NumWords = (Bits + BitsPerWord - 1) / BitsPerWord;
+  for (size_t I = 0; I < NumWords; ++I)
+    Total += static_cast<size_t>(std::popcount(words()[I]));
   return Total;
 }
 
 size_t Bitmap::findNextClear(size_t From) const {
   for (size_t Index = From; Index < Bits; ++Index) {
     size_t WordIndex = Index / BitsPerWord;
-    uint64_t Word = Words[WordIndex];
+    uint64_t Word = words()[WordIndex];
     // Skip fully-set words quickly.
     if (Word == ~uint64_t(0)) {
       Index = (WordIndex + 1) * BitsPerWord - 1;

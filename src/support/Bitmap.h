@@ -15,18 +15,25 @@
 #ifndef DIEHARD_SUPPORT_BITMAP_H
 #define DIEHARD_SUPPORT_BITMAP_H
 
+#include "support/MmapRegion.h"
+
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <utility>
 
 namespace diehard {
 
 /// Dense bit vector with one bit per heap slot.
 ///
-/// All bits start clear (slot free). The bitmap owns its storage; it lives in
-/// ordinary allocator-private memory, far from the managed heap, so heap
-/// overflows cannot reach it.
+/// All bits start clear (slot free). The bitmap owns its storage — a private
+/// anonymous mapping, far from the managed heap, so heap overflows cannot
+/// reach it. Going straight to mmap (rather than the global allocator)
+/// matters twice over: fresh pages are demand-zero, so a huge bitmap costs
+/// only the pages actually probed, and constructing a heap under the malloc
+/// shim does not funnel megabytes of metadata through the shim's bootstrap
+/// arena. Move-only, like the mapping it owns.
 class Bitmap {
 public:
   Bitmap() = default;
@@ -34,16 +41,32 @@ public:
   /// Creates a bitmap of \p NumBits bits, all clear.
   explicit Bitmap(size_t NumBits) { reset(NumBits); }
 
-  /// Resizes to \p NumBits bits and clears every bit.
+  Bitmap(Bitmap &&Other) noexcept
+      : Bits(Other.Bits), Storage(std::move(Other.Storage)) {
+    Other.Bits = 0; // Keep size()==0 <=> no storage for the moved-from side.
+  }
+  Bitmap &operator=(Bitmap &&Other) noexcept {
+    if (this != &Other) {
+      Bits = Other.Bits;
+      Storage = std::move(Other.Storage);
+      Other.Bits = 0;
+    }
+    return *this;
+  }
+
+  /// Resizes to \p NumBits bits and clears every bit. On mapping failure
+  /// the bitmap is left empty (size() == 0), which callers can detect.
   void reset(size_t NumBits) {
     Bits = NumBits;
-    Words.assign((NumBits + BitsPerWord - 1) / BitsPerWord, 0);
+    size_t NumWords = (NumBits + BitsPerWord - 1) / BitsPerWord;
+    if (NumWords == 0 || !Storage.map(NumWords * sizeof(uint64_t)))
+      Bits = 0; // Fresh mappings are demand-zero: all bits start clear.
   }
 
   /// Clears every bit without changing the size.
   void clear() {
-    for (uint64_t &W : Words)
-      W = 0;
+    if (Storage.base() != nullptr)
+      std::memset(Storage.base(), 0, Storage.size());
   }
 
   /// Returns the number of bits.
@@ -52,13 +75,13 @@ public:
   /// Returns true if bit \p Index is set.
   bool test(size_t Index) const {
     assert(Index < Bits && "bitmap index out of range");
-    return (Words[Index / BitsPerWord] >> (Index % BitsPerWord)) & 1;
+    return (words()[Index / BitsPerWord] >> (Index % BitsPerWord)) & 1;
   }
 
   /// Sets bit \p Index. Returns false if it was already set.
   bool trySet(size_t Index) {
     assert(Index < Bits && "bitmap index out of range");
-    uint64_t &Word = Words[Index / BitsPerWord];
+    uint64_t &Word = words()[Index / BitsPerWord];
     uint64_t Mask = uint64_t(1) << (Index % BitsPerWord);
     if (Word & Mask)
       return false;
@@ -69,7 +92,7 @@ public:
   /// Clears bit \p Index. Returns false if it was already clear.
   bool tryClear(size_t Index) {
     assert(Index < Bits && "bitmap index out of range");
-    uint64_t &Word = Words[Index / BitsPerWord];
+    uint64_t &Word = words()[Index / BitsPerWord];
     uint64_t Mask = uint64_t(1) << (Index % BitsPerWord);
     if (!(Word & Mask))
       return false;
@@ -88,8 +111,15 @@ public:
 private:
   static constexpr size_t BitsPerWord = 64;
 
+  /// The word array inside the mapping (derived, so default moves stay
+  /// correct).
+  uint64_t *words() { return static_cast<uint64_t *>(Storage.base()); }
+  const uint64_t *words() const {
+    return static_cast<const uint64_t *>(Storage.base());
+  }
+
   size_t Bits = 0;
-  std::vector<uint64_t> Words;
+  MmapRegion Storage;
 };
 
 } // namespace diehard

@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the /dev/urandom seed source and its time/pid
+/// fallback.
+///
+//===----------------------------------------------------------------------===//
 
 #include "support/RealRandomSource.h"
 

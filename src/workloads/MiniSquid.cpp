@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the miniature Squid web-cache core with its
+/// overflow-prone parsing path.
+///
+//===----------------------------------------------------------------------===//
 
 #include "workloads/MiniSquid.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the preset benchmark profiles (Section 7.1 suites).
+///
+//===----------------------------------------------------------------------===//
 
 #include "workloads/WorkloadSuite.h"
 

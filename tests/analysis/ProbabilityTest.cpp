@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Section 6 closed-form probabilities.
+///
+//===----------------------------------------------------------------------===//
 
 #include "analysis/Probability.h"
 

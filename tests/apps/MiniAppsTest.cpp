@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the miniature application workloads.
+///
+//===----------------------------------------------------------------------===//
 
 #include "apps/MiniCfrac.h"
 #include "apps/MiniLindsay.h"

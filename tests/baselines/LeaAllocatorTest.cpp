@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Lea-style baseline, including its corruptible-metadata
+/// failure modes.
+///
+//===----------------------------------------------------------------------===//
 
 #include "baselines/LeaAllocator.h"
 

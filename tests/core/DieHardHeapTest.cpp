@@ -3,6 +3,12 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the randomized DieHard heap: placement, 1/M thresholds,
+/// free validation, and per-seed determinism.
+///
+//===----------------------------------------------------------------------===//
 
 #include "core/DieHardHeap.h"
 

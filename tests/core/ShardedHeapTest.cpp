@@ -1,0 +1,451 @@
+//===- tests/core/ShardedHeapTest.cpp -------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the sharded heap layer: single-shard equivalence with a lone
+/// DieHardHeap, cross-thread frees routed to the owning shard, thread churn
+/// beyond the shard count, stats aggregation, and the shared large-object
+/// path. The multithreaded cases double as the TSan/ASan workload for the
+/// sanitizer CI lanes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ShardedHeap.h"
+
+#include "core/SizeClass.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+ShardedHeapOptions smallOptions(size_t NumShards, uint64_t Seed = 42) {
+  ShardedHeapOptions O;
+  O.Heap.HeapSize = 96 * 1024 * 1024;
+  O.Heap.Seed = Seed;
+  O.NumShards = NumShards;
+  return O;
+}
+
+ptrdiff_t offsetFromBase(const void *Ptr, const DieHardHeap &H) {
+  return static_cast<const char *>(Ptr) -
+         static_cast<const char *>(H.heapBase());
+}
+
+TEST(ShardedHeapTest, SingleShardMatchesDieHardHeapBitForBit) {
+  // With one shard, the layer must reproduce a lone DieHardHeap exactly:
+  // same seed, same RNG stream, same slot for every request. The replicated
+  // framework depends on this equivalence for per-seed determinism.
+  DieHardOptions Plain;
+  Plain.HeapSize = 96 * 1024 * 1024;
+  Plain.Seed = 42;
+  DieHardHeap Reference(Plain);
+
+  ShardedHeap Sharded(smallOptions(1));
+  ASSERT_TRUE(Reference.isValid());
+  ASSERT_TRUE(Sharded.isValid());
+  ASSERT_EQ(Sharded.numShards(), 1u);
+  EXPECT_EQ(Sharded.seed(), Reference.seed());
+
+  const size_t Sizes[] = {8, 24, 100, 512, 16, 2048, 8000, 16384, 1, 333};
+  std::vector<void *> FromReference, FromSharded;
+  for (int Round = 0; Round < 50; ++Round)
+    for (size_t Size : Sizes) {
+      void *A = Reference.allocate(Size);
+      void *B = Sharded.allocate(Size);
+      ASSERT_NE(A, nullptr);
+      ASSERT_NE(B, nullptr);
+      ASSERT_EQ(offsetFromBase(A, Reference),
+                offsetFromBase(B, Sharded.shard(0)))
+          << "placement diverged for size " << Size;
+      FromReference.push_back(A);
+      FromSharded.push_back(B);
+    }
+
+  // Free every other object and allocate again: the streams must stay in
+  // lockstep through frees too.
+  for (size_t I = 0; I < FromReference.size(); I += 2) {
+    Reference.deallocate(FromReference[I]);
+    Sharded.deallocate(FromSharded[I]);
+  }
+  for (size_t Size : Sizes) {
+    void *A = Reference.allocate(Size);
+    void *B = Sharded.allocate(Size);
+    ASSERT_EQ(offsetFromBase(A, Reference),
+              offsetFromBase(B, Sharded.shard(0)));
+  }
+}
+
+TEST(ShardedHeapTest, ResolvesShardCountAndDerivesSeeds) {
+  ShardedHeap H(smallOptions(4));
+  ASSERT_TRUE(H.isValid());
+  EXPECT_EQ(H.numShards(), 4u);
+  EXPECT_EQ(H.shard(0).seed(), 42u);
+  for (size_t I = 1; I < H.numShards(); ++I)
+    EXPECT_NE(H.shard(I).seed(), H.shard(0).seed())
+        << "shard " << I << " must not share shard 0's stream";
+}
+
+TEST(ShardedHeapTest, ShardCountZeroUsesHardwareConcurrency) {
+  ShardedHeap H(smallOptions(0));
+  EXPECT_EQ(H.numShards(), ShardedHeap::defaultShardCount());
+  EXPECT_GE(H.numShards(), 1u);
+}
+
+TEST(ShardedHeapTest, ClampsAbsurdShardCounts) {
+  ShardedHeapOptions O = smallOptions(100000);
+  O.Heap.HeapSize = 512 * 1024 * 1024; // Keep per-shard partitions usable.
+  ShardedHeap H(O);
+  EXPECT_EQ(H.numShards(), ShardedHeap::MaxShards);
+}
+
+TEST(ShardedHeapTest, EveryShardKeepsTheFullReservation) {
+  // Hoard-style sizing: each shard reserves the full configured size, so a
+  // single-threaded process does not lose capacity to sharding. Reference:
+  // a lone DieHardHeap with the same options.
+  DieHardOptions Plain;
+  Plain.HeapSize = 96 * 1024 * 1024;
+  Plain.Seed = 42;
+  DieHardHeap Reference(Plain);
+
+  ShardedHeap H(smallOptions(4));
+  for (size_t I = 0; I < H.numShards(); ++I) {
+    EXPECT_EQ(H.shard(I).heapBytes(), Reference.heapBytes());
+    for (int C = 0; C < SizeClass::NumClasses; ++C)
+      EXPECT_EQ(H.shard(I).thresholdForClass(C),
+                Reference.thresholdForClass(C));
+  }
+}
+
+TEST(ShardedHeapTest, CrossThreadFreeReturnsToOwningShard) {
+  ShardedHeap H(smallOptions(4));
+  ASSERT_TRUE(H.isValid());
+
+  constexpr int Count = 500;
+  std::vector<void *> Owned;
+  for (int I = 0; I < Count; ++I) {
+    void *P = H.allocate(64);
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x5A, 64);
+    Owned.push_back(P);
+  }
+  size_t Owner = H.shardIndexOf(Owned.front());
+  ASSERT_LT(Owner, H.numShards());
+
+  // Free everything from a different thread (which has a different home
+  // shard token); the frees must land on the owner, not the freeing
+  // thread's shard.
+  std::thread Freer([&] {
+    for (void *P : Owned) {
+      EXPECT_EQ(H.shardIndexOf(P), Owner);
+      H.deallocate(P);
+    }
+  });
+  Freer.join();
+
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, static_cast<uint64_t>(Count));
+  EXPECT_EQ(S.Frees, static_cast<uint64_t>(Count));
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+  EXPECT_EQ(H.bytesLive(), 0u);
+}
+
+TEST(ShardedHeapTest, ConsecutiveThreadsCoverEveryShard) {
+  ShardedHeap H(smallOptions(4));
+  // Thread tokens are handed out round-robin, so a run of numShards()
+  // threads created back to back must land on numShards() distinct shards.
+  std::vector<size_t> Homes;
+  for (size_t I = 0; I < H.numShards(); ++I) {
+    std::thread T([&] {
+      void *P = H.allocate(128);
+      ASSERT_NE(P, nullptr);
+      Homes.push_back(H.shardIndexOf(P));
+      H.deallocate(P);
+    });
+    T.join(); // Sequential: no races on Homes, tokens stay consecutive.
+  }
+  std::vector<bool> Seen(H.numShards(), false);
+  for (size_t Home : Homes) {
+    ASSERT_LT(Home, H.numShards());
+    Seen[Home] = true;
+  }
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_TRUE(Seen[I]) << "no thread was assigned shard " << I;
+}
+
+TEST(ShardedHeapTest, ThreadChurnBeyondShardCount) {
+  ShardedHeap H(smallOptions(2));
+  ASSERT_TRUE(H.isValid());
+
+  // Waves of short-lived threads, many more than there are shards: token
+  // assignment must wrap and every thread's traffic must stay intact.
+  constexpr int Waves = 4;
+  constexpr int ThreadsPerWave = 12;
+  std::atomic<int> Failures{0};
+  for (int Wave = 0; Wave < Waves; ++Wave) {
+    std::vector<std::thread> Threads;
+    for (int T = 0; T < ThreadsPerWave; ++T)
+      Threads.emplace_back([&H, &Failures, Wave, T] {
+        struct Obj {
+          unsigned char *Ptr;
+          size_t Size;
+          unsigned char Tag;
+        };
+        unsigned State = static_cast<unsigned>(Wave * 131 + T + 1);
+        std::vector<Obj> Live;
+        for (int Step = 0; Step < 400; ++Step) {
+          State = State * 1664525u + 1013904223u;
+          if (State % 2 == 0 || Live.empty()) {
+            size_t Size = 1 + State % 1024;
+            auto Tag = static_cast<unsigned char>(State >> 24);
+            auto *P = static_cast<unsigned char *>(H.allocate(Size));
+            if (P == nullptr) {
+              ++Failures;
+              return;
+            }
+            std::memset(P, Tag, Size);
+            Live.push_back(Obj{P, Size, Tag});
+          } else {
+            Obj O = Live.back();
+            Live.pop_back();
+            for (size_t I = 0; I < O.Size; ++I)
+              if (O.Ptr[I] != O.Tag) {
+                ++Failures;
+                return;
+              }
+            H.deallocate(O.Ptr);
+          }
+        }
+        for (Obj &O : Live)
+          H.deallocate(O.Ptr);
+      });
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  EXPECT_EQ(Failures.load(), 0);
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+  EXPECT_EQ(H.bytesLive(), 0u);
+}
+
+TEST(ShardedHeapTest, StatsAggregateAcrossShardsAndLargePath) {
+  ShardedHeap H(smallOptions(4));
+  ASSERT_TRUE(H.isValid());
+
+  constexpr size_t PerThread = 50;
+  std::vector<std::thread> Threads;
+  std::mutex PtrLock;
+  std::vector<void *> All;
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([&] {
+      std::vector<void *> Mine;
+      for (size_t I = 0; I < PerThread; ++I) {
+        void *P = H.allocate(256);
+        ASSERT_NE(P, nullptr);
+        Mine.push_back(P);
+      }
+      std::lock_guard<std::mutex> G(PtrLock);
+      All.insert(All.end(), Mine.begin(), Mine.end());
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  void *Large = H.allocate(SizeClass::MaxObjectSize + 1);
+  ASSERT_NE(Large, nullptr);
+
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, 4 * PerThread);
+  EXPECT_EQ(S.LargeAllocations, 1u);
+  EXPECT_EQ(H.liveLargeObjects(), 1u);
+
+  uint64_t PerShardSum = 0;
+  for (size_t I = 0; I < H.numShards(); ++I)
+    PerShardSum += H.shard(I).stats().Allocations;
+  EXPECT_EQ(PerShardSum, S.Allocations)
+      << "aggregate must equal the sum of the shards";
+
+  for (void *P : All)
+    H.deallocate(P);
+  H.deallocate(Large);
+  EXPECT_EQ(H.bytesLive(), 0u);
+  EXPECT_EQ(H.stats().LargeFrees, 1u);
+}
+
+TEST(ShardedHeapTest, LargeObjectsBypassShards) {
+  ShardedHeap H(smallOptions(4));
+  constexpr size_t Size = 64 * 1024;
+  auto *P = static_cast<char *>(H.allocate(Size));
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(H.shardIndexOf(P), H.numShards()) << "large owner id expected";
+  EXPECT_EQ(H.getObjectSize(P), Size);
+  std::memset(P, 0x42, Size);
+  H.deallocate(P);
+  EXPECT_EQ(H.getObjectSize(P), 0u);
+  H.deallocate(P); // Double free: validated and ignored.
+  EXPECT_EQ(H.stats().IgnoredFrees, 1u);
+}
+
+TEST(ShardedHeapTest, ForeignPointersAreIgnored) {
+  ShardedHeap H(smallOptions(2));
+  int Local = 0;
+  EXPECT_EQ(H.shardIndexOf(&Local), SIZE_MAX);
+  EXPECT_EQ(H.getObjectSize(&Local), 0u);
+  H.deallocate(&Local);
+  EXPECT_EQ(H.stats().IgnoredFrees, 1u);
+}
+
+TEST(ShardedHeapTest, CrossThreadReallocPreservesData) {
+  ShardedHeap H(smallOptions(4));
+  auto *P = static_cast<unsigned char *>(H.allocate(100));
+  ASSERT_NE(P, nullptr);
+  for (int I = 0; I < 100; ++I)
+    P[I] = static_cast<unsigned char>(I);
+  size_t HomeOfMain = H.shardIndexOf(P);
+
+  unsigned char *Q = nullptr;
+  std::thread Grower([&] {
+    // Growing past the rounded class size forces a move; the fresh block
+    // comes from this thread's home shard.
+    Q = static_cast<unsigned char *>(H.reallocate(P, 4096));
+  });
+  Grower.join();
+  ASSERT_NE(Q, nullptr);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(Q[I], static_cast<unsigned char>(I));
+  EXPECT_LT(H.shardIndexOf(Q), H.numShards());
+  (void)HomeOfMain; // The old slot is freed on its owner either way.
+  H.deallocate(Q);
+  EXPECT_EQ(H.bytesLive(), 0u);
+}
+
+TEST(ShardedHeapTest, ReallocSemanticsMatchDieHardHeap) {
+  ShardedHeap H(smallOptions(2));
+  // realloc(nullptr, n) allocates.
+  void *P = H.reallocate(nullptr, 64);
+  ASSERT_NE(P, nullptr);
+  // Small shrink within the class stays in place.
+  EXPECT_EQ(H.reallocate(P, 40), P);
+  // realloc(p, 0) frees.
+  EXPECT_EQ(H.reallocate(P, 0), nullptr);
+  EXPECT_EQ(H.bytesLive(), 0u);
+  // Foreign pointers are refused.
+  int Local = 0;
+  EXPECT_EQ(H.reallocate(&Local, 32), nullptr);
+}
+
+TEST(ShardedHeapTest, ZeroedAllocationIsZeroFilled) {
+  ShardedHeap H(smallOptions(2));
+  auto *P = static_cast<unsigned char *>(H.allocateZeroed(16, 32));
+  ASSERT_NE(P, nullptr);
+  for (int I = 0; I < 16 * 32; ++I)
+    ASSERT_EQ(P[I], 0u);
+  H.deallocate(P);
+  EXPECT_EQ(H.allocateZeroed(SIZE_MAX / 2, 4), nullptr) << "overflow check";
+}
+
+TEST(ShardedHeapTest, TooSmallReservationTurnsInvalid) {
+  ShardedHeapOptions O = smallOptions(8);
+  O.Heap.HeapSize = 64 * 1024; // Far below 8 usable shards.
+  ShardedHeap H(O);
+  EXPECT_FALSE(H.isValid());
+  EXPECT_EQ(H.allocate(64), nullptr);
+}
+
+TEST(ShardedHeapTest, ConcurrentMixedStress) {
+  // The all-in-one race hunt for the sanitizer lanes: small and large
+  // traffic, cross-thread frees through a shared exchange, reallocs and
+  // queries, all concurrent.
+  ShardedHeap H(smallOptions(4, 7));
+  ASSERT_TRUE(H.isValid());
+
+  std::mutex ExchangeLock;
+  std::vector<std::pair<unsigned char *, size_t>> Exchange;
+  std::atomic<int> Failures{0};
+
+  auto Worker = [&](unsigned Id) {
+    unsigned State = Id * 2654435761u + 1;
+    auto Next = [&State] {
+      State = State * 1664525u + 1013904223u;
+      return State;
+    };
+    std::vector<std::pair<unsigned char *, size_t>> Live;
+    for (int Step = 0; Step < 3000; ++Step) {
+      unsigned Op = Next() % 100;
+      if (Op < 40 || Live.empty()) {
+        size_t Size = (Op % 10 == 0) ? 17 * 1024 + Next() % 4096
+                                     : 1 + Next() % 2048;
+        auto *P = static_cast<unsigned char *>(H.allocate(Size));
+        if (P == nullptr) {
+          ++Failures;
+          return;
+        }
+        std::memset(P, static_cast<int>(Id), Size);
+        Live.emplace_back(P, Size);
+      } else if (Op < 55) {
+        auto [P, Size] = Live.back();
+        Live.pop_back();
+        std::lock_guard<std::mutex> G(ExchangeLock);
+        Exchange.emplace_back(P, Size);
+      } else if (Op < 70) {
+        std::unique_lock<std::mutex> G(ExchangeLock);
+        if (!Exchange.empty()) {
+          auto [P, Size] = Exchange.back();
+          Exchange.pop_back();
+          G.unlock();
+          // Freed cross-thread: the registry must route to the owner.
+          if (H.getObjectSize(P) == 0)
+            ++Failures;
+          H.deallocate(P);
+        }
+      } else if (Op < 80 && !Live.empty()) {
+        auto &[P, Size] = Live.back();
+        size_t NewSize = 1 + Next() % 4096;
+        auto *Q = static_cast<unsigned char *>(H.reallocate(P, NewSize));
+        if (Q == nullptr) {
+          ++Failures;
+          return;
+        }
+        P = Q;
+        Size = NewSize;
+        std::memset(P, static_cast<int>(Id), Size);
+      } else if (!Live.empty()) {
+        auto [P, Size] = Live.back();
+        Live.pop_back();
+        for (size_t I = 0; I < Size; ++I)
+          if (P[I] != static_cast<unsigned char>(Id)) {
+            ++Failures;
+            break;
+          }
+        H.deallocate(P);
+      }
+    }
+    for (auto &[P, Size] : Live)
+      H.deallocate(P);
+  };
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 8; ++T)
+    Threads.emplace_back(Worker, T + 1);
+  for (std::thread &T : Threads)
+    T.join();
+  for (auto &[P, Size] : Exchange)
+    H.deallocate(P);
+
+  EXPECT_EQ(Failures.load(), 0);
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+  EXPECT_EQ(S.LargeAllocations, S.LargeFrees);
+  EXPECT_EQ(H.bytesLive(), 0u);
+  EXPECT_EQ(H.liveLargeObjects(), 0u);
+}
+
+} // namespace
+} // namespace diehard

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the heap-differencing debugger.
+///
+//===----------------------------------------------------------------------===//
 
 #include "debug/HeapDiff.h"
 

@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for allocation-log round-tripping.
+///
+//===----------------------------------------------------------------------===//
 
 #include "faultinject/TraceIO.h"
 

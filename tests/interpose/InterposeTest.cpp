@@ -122,6 +122,41 @@ TEST(InterposeTest, MultithreadedUnderReplicatedFill) {
   EXPECT_EQ(R.Output, "MT-OK\n");
 }
 
+TEST(InterposeTest, ShardedCrossThreadFreeStress) {
+  // Producer/consumer cross-thread frees plus thread churn, with the heap
+  // split into four shards: frees must be routed to the owning shard.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_SHARDS=4");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, ShardedStressWithSingleShard) {
+  // One shard is the degenerate (fully serialized) configuration; the same
+  // workload must be correct there too.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_SHARDS=1");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, ShardedStressWithDefaultShards) {
+  // No DIEHARD_SHARDS: the shim picks one shard per CPU.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, ShardedStressUnderReplicatedFill) {
+  // Replica mode random-fills objects; combined with explicit sharding the
+  // stress must still verify (fills happen before the object is handed
+  // out).
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_REPLICATED=1 DIEHARD_SHARDS=4");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
 TEST(InterposeTest, CppBinaryWithNewDelete) {
   // ls uses C++-free paths but covers opendir/qsort allocation patterns;
   // this at least exercises a real multi-library binary end to end.

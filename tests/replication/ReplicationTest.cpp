@@ -3,6 +3,11 @@
 // Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of replicated execution and output voting.
+///
+//===----------------------------------------------------------------------===//
 
 #include "replication/Replication.h"
 
