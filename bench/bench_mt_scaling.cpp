@@ -5,20 +5,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Measures how aggregate malloc/free throughput scales with threads, for a
-/// single global DieHard heap (shards = 1, the pre-sharding configuration)
-/// versus a per-thread-sharded heap (shards = CPU count). Each worker runs a
-/// fixed count of churn operations — allocate a random small size into a
-/// random slot, freeing the previous occupant — and the table reports
-/// aggregate operations per second at 1/2/4/8 threads plus the speedup of
-/// sharding at the highest thread count.
+/// Measures how aggregate malloc/free throughput scales with threads, in
+/// two scenarios:
+///
+/// 1. *Sharding* — a single global DieHard heap (shards = 1, the
+///    pre-sharding configuration) versus a per-thread-sharded heap
+///    (shards = CPU count). Each worker runs a fixed count of churn
+///    operations — allocate a random small size into a random slot,
+///    freeing the previous occupant — and the table reports aggregate
+///    operations per second at 1/2/4/8 threads plus the speedup of
+///    sharding at the highest thread count.
+///
+/// 2. *Partition locking* — all threads pinned to ONE shard (NumShards=1),
+///    each thread churning its own size class, with the shard's old
+///    coarse lock (PartitionLocking=false) versus the per-partition locks.
+///    This isolates the win of pushing lock granularity down to the
+///    paper's per-size-class unit: same shard, disjoint partitions, so
+///    fine-grained locking should approach linear scaling where the
+///    coarse lock serializes everything.
 ///
 /// Usage: bench_mt_scaling [ops-per-thread] [shards]
 /// (defaults: 400000 ops, one shard per CPU)
 ///
 /// The absolute numbers depend on the machine; the interesting outputs are
-/// the per-row scaling and the final sharded-vs-global ratio, which is the
-/// acceptance number for the sharding layer (>= 3x on a multicore box).
+/// the per-row scaling and the final ratios (>= 3x sharded-vs-global at 8
+/// threads on a multicore box is the sharding layer's acceptance number).
+/// After the tables the bench emits one line starting with "JSON: "
+/// followed by a machine-readable summary of every measurement, so CI and
+/// future PRs can track the perf trajectory.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +44,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -38,14 +53,20 @@ namespace {
 using diehard::Rng;
 using diehard::ShardedHeap;
 using diehard::ShardedHeapOptions;
+using diehard::SizeClass;
 
 constexpr int SlotsPerThread = 256;
 constexpr size_t MaxRequest = 1024;
 
-/// One worker: `Ops` rounds of slot churn against `Heap`.
-void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops,
+/// One worker: `Ops` rounds of slot churn against `Heap`. With ClassIndex
+/// >= 0 every request is that size class's exact size (the mixed-class
+/// scenario gives each thread its own class); otherwise sizes are random in
+/// [1, MaxRequest].
+void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops, int ClassIndex,
                  std::atomic<bool> &Go, std::atomic<long> &Failed) {
   Rng Rand(Seed);
+  size_t FixedSize =
+      ClassIndex >= 0 ? SizeClass::classToSize(ClassIndex) : 0;
   std::vector<void *> Slots(SlotsPerThread, nullptr);
   while (!Go.load(std::memory_order_acquire))
     std::this_thread::yield();
@@ -54,7 +75,9 @@ void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops,
     size_t Slot = Rand.nextBounded(SlotsPerThread);
     if (Slots[Slot] != nullptr)
       Heap.deallocate(Slots[Slot]);
-    Slots[Slot] = Heap.allocate(1 + Rand.nextBounded(MaxRequest));
+    size_t Size =
+        FixedSize != 0 ? FixedSize : 1 + Rand.nextBounded(MaxRequest);
+    Slots[Slot] = Heap.allocate(Size);
     if (Slots[Slot] == nullptr)
       ++Failures;
   }
@@ -65,13 +88,20 @@ void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops,
     Failed.fetch_add(Failures, std::memory_order_relaxed);
 }
 
-/// Runs `Threads` workers against a fresh heap with `Shards` shards and
-/// returns aggregate operations (1 alloc + amortized 1 free) per second.
-double measure(size_t Shards, int Threads, long OpsPerThread) {
+struct RunConfig {
+  size_t Shards;
+  bool PartitionLocks;
+  bool PerThreadClasses; ///< Thread t churns size class t % NumClasses.
+};
+
+/// Runs `Threads` workers against a fresh heap per `Config` and returns
+/// aggregate operations (1 alloc + amortized 1 free) per second.
+double measure(const RunConfig &Config, int Threads, long OpsPerThread) {
   ShardedHeapOptions Options;
   Options.Heap.HeapSize = 384 * 1024 * 1024;
   Options.Heap.Seed = 0x5EED + 17 * static_cast<uint64_t>(Threads);
-  Options.NumShards = Shards;
+  Options.NumShards = Config.Shards;
+  Options.PartitionLocking = Config.PartitionLocks;
   ShardedHeap Heap(Options);
   if (!Heap.isValid()) {
     std::fprintf(stderr, "heap reservation failed\n");
@@ -82,10 +112,13 @@ double measure(size_t Shards, int Threads, long OpsPerThread) {
   std::atomic<long> Failed{0};
   std::vector<std::thread> Workers;
   Workers.reserve(static_cast<size_t>(Threads));
-  for (int T = 0; T < Threads; ++T)
+  for (int T = 0; T < Threads; ++T) {
+    int ClassIndex =
+        Config.PerThreadClasses ? T % SizeClass::NumClasses : -1;
     Workers.emplace_back(churnWorker, std::ref(Heap),
                          static_cast<uint64_t>(T) + 1, OpsPerThread,
-                         std::ref(Go), std::ref(Failed));
+                         ClassIndex, std::ref(Go), std::ref(Failed));
+  }
 
   double Seconds = diehard::bench::timeSeconds([&] {
     Go.store(true, std::memory_order_release);
@@ -95,6 +128,20 @@ double measure(size_t Shards, int Threads, long OpsPerThread) {
   if (Failed.load() != 0)
     std::fprintf(stderr, "  (%ld failed allocations)\n", Failed.load());
   return static_cast<double>(OpsPerThread) * Threads / Seconds;
+}
+
+/// Accumulates every measurement for the trailing JSON summary.
+std::string JsonRows;
+
+void recordJson(const char *Scenario, const char *Config, int Threads,
+                double OpsPerSec) {
+  char Row[160];
+  std::snprintf(Row, sizeof(Row),
+                "%s{\"scenario\":\"%s\",\"config\":\"%s\","
+                "\"threads\":%d,\"ops_per_sec\":%.0f}",
+                JsonRows.empty() ? "" : ",", Scenario, Config, Threads,
+                OpsPerSec);
+  JsonRows += Row;
 }
 
 } // namespace
@@ -115,25 +162,65 @@ int main(int argc, char **argv) {
   std::printf("mt scaling: %ld churn ops/thread, slots=%d, max size=%zu, "
               "cpus=%zu\n",
               OpsPerThread, SlotsPerThread, MaxRequest, Cpus);
+
+  // Scenario 1: global (1 shard) vs sharded (one shard per CPU), random
+  // sizes — the cross-shard scaling picture.
   diehard::bench::printRule();
   std::printf("%8s  %12s  %12s  %8s\n", "threads", "global ops/s",
               "sharded ops/s", "ratio");
   diehard::bench::printRule();
 
+  const RunConfig Global{1, true, false};
+  const RunConfig Sharded{Cpus, true, false};
   const int ThreadCounts[] = {1, 2, 4, 8};
   double GlobalAt8 = 0, ShardedAt8 = 0;
   for (int Threads : ThreadCounts) {
-    double Global = measure(1, Threads, OpsPerThread);
-    double Sharded = measure(Cpus, Threads, OpsPerThread);
-    std::printf("%8d  %12.0f  %12.0f  %7.2fx\n", Threads, Global, Sharded,
-                Sharded / Global);
+    double G = measure(Global, Threads, OpsPerThread);
+    double S = measure(Sharded, Threads, OpsPerThread);
+    recordJson("sharding", "global", Threads, G);
+    recordJson("sharding", "sharded", Threads, S);
+    std::printf("%8d  %12.0f  %12.0f  %7.2fx\n", Threads, G, S, S / G);
     if (Threads == 8) {
-      GlobalAt8 = Global;
-      ShardedAt8 = Sharded;
+      GlobalAt8 = G;
+      ShardedAt8 = S;
     }
   }
   diehard::bench::printRule();
   std::printf("sharded (%zu shards) vs global at 8 threads: %.2fx\n", Cpus,
               ShardedAt8 / GlobalAt8);
+
+  // Scenario 2: same shard, each thread its own size class — coarse
+  // per-shard lock vs per-partition locks. This is the contention pattern
+  // the partition decomposition exists for.
+  std::printf("\nsame-shard mixed-size-class contention (1 shard, thread t "
+              "-> class t%%%d)\n",
+              SizeClass::NumClasses);
+  diehard::bench::printRule();
+  std::printf("%8s  %12s  %14s  %8s\n", "threads", "coarse ops/s",
+              "partition ops/s", "ratio");
+  diehard::bench::printRule();
+
+  const RunConfig Coarse{1, false, true};
+  const RunConfig Partitioned{1, true, true};
+  double CoarseAt8 = 0, PartitionedAt8 = 0;
+  for (int Threads : ThreadCounts) {
+    double C = measure(Coarse, Threads, OpsPerThread);
+    double P = measure(Partitioned, Threads, OpsPerThread);
+    recordJson("mixed_class", "coarse_lock", Threads, C);
+    recordJson("mixed_class", "partition_locks", Threads, P);
+    std::printf("%8d  %12.0f  %14.0f  %7.2fx\n", Threads, C, P, P / C);
+    if (Threads == 8) {
+      CoarseAt8 = C;
+      PartitionedAt8 = P;
+    }
+  }
+  diehard::bench::printRule();
+  std::printf("partition locks vs coarse lock at 8 threads: %.2fx\n",
+              PartitionedAt8 / CoarseAt8);
+
+  // Machine-readable trailer for the perf trajectory.
+  std::printf("\nJSON: {\"bench\":\"mt_scaling\",\"ops_per_thread\":%ld,"
+              "\"shards\":%zu,\"results\":[%s]}\n",
+              OpsPerThread, Cpus, JsonRows.c_str());
   return 0;
 }

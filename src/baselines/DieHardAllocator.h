@@ -33,6 +33,13 @@ public:
   DieHardHeap &heap() { return Heap; }
   const DieHardHeap &heap() const { return Heap; }
 
+  /// Per-size-class introspection: the partition serving class \p Class
+  /// (fill gauges, probe stats, stream seed). Benches use this to report
+  /// per-partition fill alongside the aggregate counters.
+  const RandomizedPartition &partition(int Class) const {
+    return Heap.partition(Class);
+  }
+
 private:
   DieHardHeap Heap;
 };

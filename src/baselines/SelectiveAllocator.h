@@ -77,6 +77,14 @@ public:
            (Mask & (uint32_t(1) << SizeClass::sizeToClass(Size)));
   }
 
+  /// Fill level of protected class \p Class relative to its 1/M threshold,
+  /// in [0, 1] (always 0 for unprotected classes, which never route here).
+  /// Lets experiments watch how close each protected region runs to its
+  /// bound.
+  double protectedFill(int Class) const {
+    return Protected.partition(Class).fill();
+  }
+
 private:
   uint32_t Mask;
   DieHardHeap Protected;

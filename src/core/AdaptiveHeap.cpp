@@ -5,12 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Implementation of the adaptive (dynamically growing) DieHard heap.
+/// Implementation of the adaptive (dynamically growing) DieHard heap with
+/// per-size-class locking: each class grows, allocates and frees under its
+/// own lock, and pointer queries scan one class at a time so no operation
+/// ever holds two class locks.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/AdaptiveHeap.h"
 
+#include "core/RandomizedPartition.h"
 #include "support/RealRandomSource.h"
 
 #include <cassert>
@@ -23,11 +27,13 @@ AdaptiveDieHardHeap::AdaptiveDieHardHeap(const AdaptiveOptions &Options)
   assert(Opts.M > 1.0 && "expansion factor M must exceed 1");
   assert(Opts.InitialSlotsPerClass >= 2 && "need at least two slots");
   ResolvedSeed = Opts.Seed != 0 ? Opts.Seed : realRandomSeed();
-  Rand.setSeed(ResolvedSeed);
+  for (int C = 0; C < SizeClass::NumClasses; ++C)
+    Classes[C].Rand.setSeed(Rng::deriveStream(ResolvedSeed,
+                                              static_cast<uint64_t>(C) + 1,
+                                              Rng::ClassStreamGamma));
 }
 
-bool AdaptiveDieHardHeap::grow(int Class) {
-  ClassState &State = Classes[Class];
+bool AdaptiveDieHardHeap::growLocked(ClassState &State, int Class) {
   // First growth installs InitialSlotsPerClass slots; each later growth
   // doubles the class capacity, so the per-growth cost amortizes to O(1)
   // per allocation and the number of sub-regions stays logarithmic.
@@ -47,15 +53,23 @@ bool AdaptiveDieHardHeap::grow(int Class) {
   Bitmap Extended(State.TotalSlots + NewSlots);
   if (Extended.size() != State.TotalSlots + NewSlots)
     return false;
+
+  // Register the sub-region before committing, so a pointer query can
+  // resolve its class the instant an object can exist in it. A failed
+  // node allocation refuses the growth (Fresh unmaps on destruction).
+  if (!Regions.insert(Fresh.Memory.base(), Bytes,
+                      static_cast<uint32_t>(Class)))
+    return false;
   for (size_t I = 0; I < State.Allocated.size(); ++I)
     if (State.Allocated.test(I))
       Extended.trySet(I);
 
-  Reserved += Bytes;
+  Reserved.fetch_add(Bytes, std::memory_order_relaxed);
   State.Regions.push_back(std::move(Fresh));
   State.TotalSlots += NewSlots;
+  State.Capacity.store(State.TotalSlots, std::memory_order_relaxed);
   State.Allocated = std::move(Extended);
-  ++Stats.Growths;
+  Growths.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -71,80 +85,70 @@ char *AdaptiveDieHardHeap::slotAddress(const ClassState &State, int Class,
   return nullptr;
 }
 
-void AdaptiveDieHardHeap::randomFill(void *Ptr, size_t Bytes) {
-  auto *Words = static_cast<uint32_t *>(Ptr);
-  for (size_t I = 0; I < Bytes / sizeof(uint32_t); ++I)
-    Words[I] = Rand.next();
+void AdaptiveDieHardHeap::randomFill(ClassState &State, void *Ptr,
+                                     size_t Bytes) {
+  randomFillWords(State.Rand, Ptr, Bytes);
 }
 
 void *AdaptiveDieHardHeap::allocate(size_t Size) {
   if (Size == 0)
     return nullptr;
   if (Size > SizeClass::MaxObjectSize) {
+    std::lock_guard<std::mutex> Guard(LargeLock);
     void *Ptr = LargeObjects.allocate(Size);
     if (Ptr != nullptr)
-      ++Stats.LargeAllocations;
+      LargeAllocations.fetch_add(1, std::memory_order_relaxed);
     return Ptr;
   }
 
   int C = SizeClass::sizeToClass(Size);
   ClassState &State = Classes[C];
+  std::lock_guard<std::mutex> Guard(State.Lock);
 
   // Grow whenever the next allocation would break the 1/M bound; this is
-  // the adaptive replacement for the fixed heap's allocation refusal.
-  while (static_cast<double>(State.InUse + 1) >
+  // the adaptive replacement for the fixed heap's allocation refusal. Only
+  // this class's lock is held: growth never stalls the other classes.
+  size_t Live = State.InUse.load(std::memory_order_relaxed);
+  while (static_cast<double>(Live + 1) >
          static_cast<double>(State.TotalSlots) / Opts.M) {
-    if (!grow(C))
+    if (!growLocked(State, C))
       return nullptr; // Genuinely out of memory.
   }
 
-  size_t Slots = State.TotalSlots;
-  size_t Index = 0;
-  bool Found = false;
-  for (int Attempt = 0; Attempt < 64; ++Attempt) {
-    ++Stats.Probes;
-    Index = Rand.nextBounded(static_cast<uint32_t>(Slots));
-    if (State.Allocated.trySet(Index)) {
-      Found = true;
-      break;
-    }
-  }
-  if (!Found) {
-    size_t Start = Rand.nextBounded(static_cast<uint32_t>(Slots));
-    Index = State.Allocated.findNextClear(Start);
-    if (Index == Slots)
-      Index = State.Allocated.findNextClear(0);
-    if (Index == Slots)
-      return nullptr; // Unreachable given the 1/M bound.
-    State.Allocated.trySet(Index);
-  }
+  uint64_t LocalProbes = 0, LocalFallbacks = 0;
+  size_t Index = claimRandomSlot(State.Allocated, State.Rand,
+                                 State.TotalSlots, LocalProbes,
+                                 LocalFallbacks);
+  Probes.fetch_add(LocalProbes, std::memory_order_relaxed);
+  if (LocalFallbacks != 0)
+    ProbeFallbacks.fetch_add(LocalFallbacks, std::memory_order_relaxed);
+  if (Index == State.TotalSlots)
+    return nullptr; // Unreachable given the 1/M bound.
 
-  ++State.InUse;
-  ++Stats.Allocations;
+  State.InUse.fetch_add(1, std::memory_order_relaxed);
+  Allocations.fetch_add(1, std::memory_order_relaxed);
   char *Ptr = slotAddress(State, C, Index);
   if (Opts.RandomFillObjects)
-    randomFill(Ptr, SizeClass::classToSize(C));
+    randomFill(State, Ptr, SizeClass::classToSize(C));
   return Ptr;
 }
 
-bool AdaptiveDieHardHeap::locate(const void *Ptr, bool AllowInterior,
-                                 int &Class, size_t &Slot,
-                                 char *&Start) const {
-  for (int C = 0; C < SizeClass::NumClasses; ++C) {
-    size_t ObjectSize = SizeClass::classToSize(C);
-    for (const SubRegion &R : Classes[C].Regions) {
-      if (!R.Memory.contains(Ptr))
-        continue;
-      size_t Offset = static_cast<const char *>(Ptr) -
-                      static_cast<const char *>(R.Memory.base());
-      if (!AllowInterior && Offset % ObjectSize != 0)
-        return false;
-      Class = C;
-      Slot = R.SlotBase + Offset / ObjectSize;
-      Start = static_cast<char *>(R.Memory.base()) +
-              (Offset / ObjectSize) * ObjectSize;
-      return true;
-    }
+bool AdaptiveDieHardHeap::locateInClass(const ClassState &State, int Class,
+                                        const void *Ptr, bool AllowInterior,
+                                        size_t &Slot, char *&Start) const {
+  size_t ObjectSize = SizeClass::classToSize(Class);
+  for (const SubRegion &R : State.Regions) {
+    if (!R.Memory.contains(Ptr))
+      continue;
+    size_t Offset = static_cast<size_t>(static_cast<const char *>(Ptr) -
+                                        static_cast<const char *>(
+                                            R.Memory.base()));
+    if (!AllowInterior && Offset % ObjectSize != 0)
+      return false; // In-region but misaligned: an invalid free.
+    Slot = R.SlotBase + Offset / ObjectSize;
+    Start = static_cast<char *>(R.Memory.base()) +
+            (Offset / ObjectSize) * ObjectSize;
+    return true;
   }
   return false;
 }
@@ -152,56 +156,95 @@ bool AdaptiveDieHardHeap::locate(const void *Ptr, bool AllowInterior,
 void AdaptiveDieHardHeap::deallocate(void *Ptr) {
   if (Ptr == nullptr)
     return;
-  int C;
-  size_t Slot;
-  char *Start;
-  if (!locate(Ptr, /*AllowInterior=*/false, C, Slot, Start)) {
-    if (LargeObjects.deallocate(Ptr)) {
-      ++Stats.LargeFrees;
+  // Resolve the owning class through the range registry (one shared-lock
+  // read; sub-regions are never unmapped, so the answer cannot go stale),
+  // then take exactly that class's lock. A free therefore never contends
+  // with the other classes — the isolation allocate() has.
+  uint32_t Owner = Regions.ownerOf(Ptr);
+  if (Owner != AddressRangeMap::NoOwner) {
+    int C = static_cast<int>(Owner);
+    ClassState &State = Classes[C];
+    std::lock_guard<std::mutex> Guard(State.Lock);
+    size_t Slot;
+    char *Start;
+    if (!locateInClass(State, C, Ptr, /*AllowInterior=*/true, Slot, Start) ||
+        Start != Ptr || !State.Allocated.tryClear(Slot)) {
+      IgnoredFrees.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ++Stats.IgnoredFrees;
+    assert(State.InUse.load(std::memory_order_relaxed) > 0 &&
+           "bitmap and counter out of sync");
+    State.InUse.fetch_sub(1, std::memory_order_relaxed);
+    Frees.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (Start != Ptr || !Classes[C].Allocated.tryClear(Slot)) {
-    ++Stats.IgnoredFrees;
-    return;
+  {
+    std::lock_guard<std::mutex> Guard(LargeLock);
+    if (LargeObjects.deallocate(Ptr)) {
+      LargeFrees.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
-  assert(Classes[C].InUse > 0 && "bitmap and counter out of sync");
-  --Classes[C].InUse;
-  ++Stats.Frees;
+  IgnoredFrees.fetch_add(1, std::memory_order_relaxed);
 }
 
 size_t AdaptiveDieHardHeap::getObjectSize(const void *Ptr) const {
   if (Ptr == nullptr)
     return 0;
-  int C;
-  size_t Slot;
-  char *Start;
-  if (!locate(Ptr, /*AllowInterior=*/true, C, Slot, Start))
-    return LargeObjects.getSize(Ptr);
-  return Classes[C].Allocated.test(Slot) ? SizeClass::classToSize(C) : 0;
+  uint32_t Owner = Regions.ownerOf(Ptr);
+  if (Owner != AddressRangeMap::NoOwner) {
+    int C = static_cast<int>(Owner);
+    const ClassState &State = Classes[C];
+    std::lock_guard<std::mutex> Guard(State.Lock);
+    size_t Slot;
+    char *Start;
+    if (locateInClass(State, C, Ptr, /*AllowInterior=*/true, Slot, Start))
+      return State.Allocated.test(Slot) ? SizeClass::classToSize(C) : 0;
+    return 0;
+  }
+  std::lock_guard<std::mutex> Guard(LargeLock);
+  return LargeObjects.getSize(Ptr);
 }
 
 void *AdaptiveDieHardHeap::getObjectStart(const void *Ptr) const {
   if (Ptr == nullptr)
     return nullptr;
-  int C;
-  size_t Slot;
-  char *Start;
-  if (!locate(Ptr, /*AllowInterior=*/true, C, Slot, Start))
-    return LargeObjects.contains(Ptr) ? const_cast<void *>(Ptr) : nullptr;
-  return Classes[C].Allocated.test(Slot) ? Start : nullptr;
+  uint32_t Owner = Regions.ownerOf(Ptr);
+  if (Owner != AddressRangeMap::NoOwner) {
+    int C = static_cast<int>(Owner);
+    const ClassState &State = Classes[C];
+    std::lock_guard<std::mutex> Guard(State.Lock);
+    size_t Slot;
+    char *Start;
+    if (locateInClass(State, C, Ptr, /*AllowInterior=*/true, Slot, Start))
+      return State.Allocated.test(Slot) ? Start : nullptr;
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> Guard(LargeLock);
+  return LargeObjects.contains(Ptr) ? const_cast<void *>(Ptr) : nullptr;
 }
 
 size_t AdaptiveDieHardHeap::capacityOfClass(int Class) const {
   assert(Class >= 0 && Class < SizeClass::NumClasses);
-  return Classes[Class].TotalSlots;
+  return Classes[Class].Capacity.load(std::memory_order_relaxed);
 }
 
 size_t AdaptiveDieHardHeap::liveInClass(int Class) const {
   assert(Class >= 0 && Class < SizeClass::NumClasses);
-  return Classes[Class].InUse;
+  return Classes[Class].InUse.load(std::memory_order_relaxed);
+}
+
+AdaptiveStats AdaptiveDieHardHeap::stats() const {
+  AdaptiveStats S;
+  S.Allocations = Allocations.load(std::memory_order_relaxed);
+  S.Frees = Frees.load(std::memory_order_relaxed);
+  S.IgnoredFrees = IgnoredFrees.load(std::memory_order_relaxed);
+  S.Probes = Probes.load(std::memory_order_relaxed);
+  S.ProbeFallbacks = ProbeFallbacks.load(std::memory_order_relaxed);
+  S.Growths = Growths.load(std::memory_order_relaxed);
+  S.LargeAllocations = LargeAllocations.load(std::memory_order_relaxed);
+  S.LargeFrees = LargeFrees.load(std::memory_order_relaxed);
+  return S;
 }
 
 } // namespace diehard

@@ -18,6 +18,13 @@
 /// the *current* capacity. Growth keeps the expected probe count bounded by
 /// 1/(1 - 1/M) exactly as in the fixed heap.
 ///
+/// Like the fixed heap, the adaptive heap is decomposed per size class:
+/// every class carries its own cache-line-padded lock, its own RNG stream
+/// derived from the heap seed, and grows *under its own lock*, one
+/// partition at a time — a growth spurt in the 8-byte class never stalls
+/// allocation in any other class. All public methods are thread-safe at
+/// that per-class granularity.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIEHARD_CORE_ADAPTIVEHEAP_H
@@ -25,12 +32,15 @@
 
 #include "core/LargeObjectManager.h"
 #include "core/SizeClass.h"
+#include "support/AddressRangeMap.h"
 #include "support/Bitmap.h"
 #include "support/MmapRegion.h"
 #include "support/Rng.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace diehard {
@@ -45,7 +55,8 @@ struct AdaptiveOptions {
   /// The heap expansion factor M (same meaning as DieHardOptions::M).
   double M = 2.0;
 
-  /// RNG seed; 0 selects a truly random seed.
+  /// RNG seed; 0 selects a truly random seed. Each class derives its own
+  /// stream from this seed.
   uint64_t Seed = 0;
 
   /// Replicated mode: fill allocated objects with random data.
@@ -58,6 +69,7 @@ struct AdaptiveStats {
   uint64_t Frees = 0;
   uint64_t IgnoredFrees = 0;
   uint64_t Probes = 0;
+  uint64_t ProbeFallbacks = 0;   ///< Times the linear fallback scan ran.
   uint64_t Growths = 0;          ///< Sub-regions added across all classes.
   uint64_t LargeAllocations = 0;
   uint64_t LargeFrees = 0;
@@ -67,7 +79,9 @@ struct AdaptiveStats {
 ///
 /// Same correctness contract as DieHardHeap: allocation failure returns
 /// nullptr, invalid and double frees are ignored, metadata lives far from
-/// the heap. Not thread-safe by itself.
+/// the heap. Thread-safe with per-size-class locking: operations on
+/// different classes never contend, and growth happens one class at a time
+/// under that class's lock.
 class AdaptiveDieHardHeap {
 public:
   explicit AdaptiveDieHardHeap(
@@ -96,10 +110,16 @@ public:
   size_t liveInClass(int Class) const;
 
   /// Bytes of address space currently reserved (all sub-regions).
-  size_t reservedBytes() const { return Reserved; }
+  size_t reservedBytes() const {
+    return Reserved.load(std::memory_order_relaxed);
+  }
 
   const AdaptiveOptions &options() const { return Opts; }
-  const AdaptiveStats &stats() const { return Stats; }
+
+  /// Behaviour counters, materialized from the relaxed atomics; values may
+  /// trail concurrent operations by a moment.
+  AdaptiveStats stats() const;
+
   uint64_t seed() const { return ResolvedSeed; }
 
 private:
@@ -109,35 +129,64 @@ private:
     size_t SlotBase = 0; ///< Global slot index of this sub-region's slot 0.
   };
 
-  struct ClassState {
-    std::vector<SubRegion> Regions;
-    Bitmap Allocated; ///< One bit per slot, globally indexed.
-    size_t TotalSlots = 0;
-    size_t InUse = 0;
+  /// One size class's growable partition: sub-regions, bitmap, RNG stream,
+  /// and its own lock, padded so neighbouring classes never false-share.
+  struct alignas(64) ClassState {
+    mutable std::mutex Lock;
+    std::vector<SubRegion> Regions; ///< Guarded by Lock.
+    Bitmap Allocated;               ///< One bit per slot, globally indexed.
+    size_t TotalSlots = 0;          ///< Guarded by Lock.
+    Rng Rand;                       ///< Per-class stream; guarded by Lock.
+    std::atomic<size_t> InUse{0};   ///< Lock-free gauge.
+    std::atomic<size_t> Capacity{0}; ///< Lock-free mirror of TotalSlots.
   };
 
-  /// Adds a sub-region to \p Class, doubling its capacity (the first call
-  /// installs the initial region). \returns false on mmap failure.
-  bool grow(int Class);
+  /// Adds a sub-region to \p State, doubling its capacity (the first call
+  /// installs the initial region). Requires \p State's lock to be held —
+  /// growth stalls only the class that is growing. \returns false on mmap
+  /// failure.
+  bool growLocked(ClassState &State, int Class);
 
-  /// Maps a global slot index of \p Class to its address.
+  /// Maps a global slot index of \p Class to its address. Requires the
+  /// class lock.
   char *slotAddress(const ClassState &State, int Class, size_t Slot) const;
 
-  /// Finds (class, global slot, slot start) for \p Ptr; returns false if
-  /// the pointer is in no sub-region or misaligned within its slot unless
-  /// \p AllowInterior.
-  bool locate(const void *Ptr, bool AllowInterior, int &Class, size_t &Slot,
-              char *&Start) const;
+  /// If \p Ptr lies in one of \p State's sub-regions, fills in the global
+  /// slot index and slot start and returns true. Requires the class lock.
+  /// \p AllowInterior accepts pointers not at the slot start.
+  bool locateInClass(const ClassState &State, int Class, const void *Ptr,
+                     bool AllowInterior, size_t &Slot, char *&Start) const;
 
-  void randomFill(void *Ptr, size_t Bytes);
+  void randomFill(ClassState &State, void *Ptr, size_t Bytes);
 
   AdaptiveOptions Opts;
   uint64_t ResolvedSeed = 0;
-  Rng Rand;
   ClassState Classes[SizeClass::NumClasses];
-  LargeObjectManager LargeObjects;
-  size_t Reserved = 0;
-  AdaptiveStats Stats;
+
+  /// Every sub-region, tagged with its class index. Pointer queries resolve
+  /// the owning class here (one shared-lock lookup) and then take exactly
+  /// that class's lock — a free never touches the other classes' locks, so
+  /// the per-class isolation of allocate() holds for deallocate() too.
+  /// Lock order: a grow inserts while holding its class lock (class lock →
+  /// registry write lock); queries release the registry's shared lock
+  /// before taking the class lock, so the two orders never interleave.
+  AddressRangeMap Regions;
+
+  mutable std::mutex LargeLock;
+  LargeObjectManager LargeObjects; ///< Guarded by LargeLock.
+
+  std::atomic<size_t> Reserved{0};
+
+  // Counters (relaxed atomics; incremented on the paths that own the
+  // corresponding lock, read lock-free by stats()).
+  std::atomic<uint64_t> Allocations{0};
+  std::atomic<uint64_t> Frees{0};
+  std::atomic<uint64_t> IgnoredFrees{0};
+  std::atomic<uint64_t> Probes{0};
+  std::atomic<uint64_t> ProbeFallbacks{0};
+  std::atomic<uint64_t> Growths{0};
+  std::atomic<uint64_t> LargeAllocations{0};
+  std::atomic<uint64_t> LargeFrees{0};
 };
 
 } // namespace diehard

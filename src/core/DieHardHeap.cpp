@@ -5,8 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Implementation of the randomized M-heap (Figure 2): random-probe
-/// allocation, validated frees, and the realloc/calloc wrappers.
+/// Implementation of the randomized M-heap as a composition of per-class
+/// RandomizedPartition objects: construction carves the reservation into
+/// twelve regions, and each request is routed to the partition (or the
+/// large-object manager) that covers it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,18 +37,22 @@ DieHardHeap::DieHardHeap(const DieHardOptions &Options) : Opts(Options) {
   if (!Heap.map(PartitionSize * SizeClass::NumClasses))
     return;
 
-  for (int C = 0; C < SizeClass::NumClasses; ++C) {
-    size_t Slots = PartitionSize / SizeClass::classToSize(C);
-    IsAllocated[C].reset(Slots);
-    if (IsAllocated[C].size() != Slots) {
+  for (int C = 0; C < NumPartitions; ++C) {
+    size_t ObjectSize = SizeClass::classToSize(C);
+    char *Region = static_cast<char *>(Heap.base()) +
+                   static_cast<size_t>(C) * PartitionSize;
+    // Streams are numbered from 1 so no partition shares the heap-level
+    // stream (stream 0 with the class gamma is the seed itself).
+    uint64_t Stream = Rng::deriveStream(
+        ResolvedSeed, static_cast<uint64_t>(C) + 1, Rng::ClassStreamGamma);
+    if (!Partitions[C].init(Region, ObjectSize, PartitionSize / ObjectSize,
+                            Opts.M, Stream, Opts.RandomFillObjects,
+                            Opts.RandomFillOnFree)) {
       // Metadata mapping failed: render the heap invalid rather than
       // faulting on the first probe.
       Heap.unmap();
       return;
     }
-    InUse[C] = 0;
-    // Each region is allowed to become at most 1/M full (Section 4.1).
-    Threshold[C] = static_cast<size_t>(static_cast<double>(Slots) / Opts.M);
   }
 
   // REPLICATED (Figure 2): fill the whole heap with random values.
@@ -56,27 +62,14 @@ DieHardHeap::DieHardHeap(const DieHardOptions &Options) : Opts(Options) {
 
 DieHardHeap::~DieHardHeap() = default;
 
-size_t DieHardHeap::liveInClass(int Class) const {
-  assert(Class >= 0 && Class < SizeClass::NumClasses);
-  return InUse[Class];
-}
-
-size_t DieHardHeap::slotsInClass(int Class) const {
-  assert(Class >= 0 && Class < SizeClass::NumClasses);
-  return IsAllocated[Class].size();
-}
-
-size_t DieHardHeap::thresholdForClass(int Class) const {
-  assert(Class >= 0 && Class < SizeClass::NumClasses);
-  return Threshold[Class];
+const RandomizedPartition &DieHardHeap::partition(int Class) const {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  return Partitions[Class];
 }
 
 void DieHardHeap::randomFill(void *Ptr, size_t Size) {
-  // Fill in 32-bit units, as in Figure 2 of the paper. Sizes here are always
-  // multiples of 8, so no tail handling is needed.
-  auto *Words = static_cast<uint32_t *>(Ptr);
-  for (size_t I = 0; I < Size / sizeof(uint32_t); ++I)
-    Words[I] = Rand.next();
+  // Sizes here are always multiples of 4 after the callers' masking.
+  randomFillWords(Rand, Ptr, Size);
 }
 
 void *DieHardHeap::allocate(size_t Size) {
@@ -86,70 +79,24 @@ void *DieHardHeap::allocate(size_t Size) {
   if (Size > SizeClass::MaxObjectSize) {
     void *Ptr = LargeObjects.allocate(Size);
     if (Ptr == nullptr) {
-      ++Stats.FailedAllocations;
+      ++LargeFailedCount;
       return nullptr;
     }
-    ++Stats.LargeAllocations;
-    LiveBytes += Size;
+    ++LargeAllocationCount;
+    LargeLiveBytes += Size;
     if (Opts.RandomFillObjects)
       randomFill(Ptr, Size & ~size_t(3));
     return Ptr;
   }
 
-  int C = SizeClass::sizeToClass(Size);
-  if (InUse[C] >= Threshold[C]) {
-    // At threshold: the 1/M bound says no more memory for this class.
-    ++Stats.FailedAllocations;
-    return nullptr;
-  }
-
-  size_t ObjectSize = SizeClass::classToSize(C);
-  size_t Slots = IsAllocated[C].size();
-
-  // Probe for a free slot, like probing into a hash table. Since the region
-  // is at most 1/M full, the expected probe count is 1/(1 - 1/M); a bounded
-  // number of random probes followed by a linear fallback guarantees
-  // termination without measurably biasing placement.
-  size_t Index = 0;
-  bool Found = false;
-  for (int Attempt = 0; Attempt < 64; ++Attempt) {
-    ++Stats.Probes;
-    Index = Rand.nextBounded(static_cast<uint32_t>(Slots));
-    if (IsAllocated[C].trySet(Index)) {
-      Found = true;
-      break;
-    }
-  }
-  if (!Found) {
-    ++Stats.ProbeFallbacks;
-    size_t Start = Rand.nextBounded(static_cast<uint32_t>(Slots));
-    Index = IsAllocated[C].findNextClear(Start);
-    if (Index == Slots)
-      Index = IsAllocated[C].findNextClear(0);
-    if (Index == Slots) {
-      // Every slot is taken; the 1/M threshold should make this unreachable.
-      ++Stats.FailedAllocations;
-      return nullptr;
-    }
-    IsAllocated[C].trySet(Index);
-  }
-
-  ++InUse[C];
-  ++Stats.Allocations;
-  LiveBytes += ObjectSize;
-
-  char *Ptr = static_cast<char *>(Heap.base()) +
-              static_cast<size_t>(C) * PartitionSize + Index * ObjectSize;
-  if (Opts.RandomFillObjects)
-    randomFill(Ptr, ObjectSize);
-  return Ptr;
+  return Partitions[SizeClass::sizeToClass(Size)].allocate();
 }
 
-int DieHardHeap::partitionOf(const void *Ptr) const {
+int DieHardHeap::partitionIndexOf(const void *Ptr) const {
   if (!Heap.contains(Ptr))
     return -1;
-  size_t Offset = static_cast<const char *>(Ptr) -
-                  static_cast<const char *>(Heap.base());
+  size_t Offset = static_cast<size_t>(static_cast<const char *>(Ptr) -
+                                      static_cast<const char *>(Heap.base()));
   return static_cast<int>(Offset / PartitionSize);
 }
 
@@ -159,42 +106,18 @@ void DieHardHeap::deallocate(void *Ptr) {
 
   // Addresses outside the heap area may be large objects; the large-object
   // table validates them (Section 4.3).
-  if (!Heap.contains(Ptr)) {
+  int C = partitionIndexOf(Ptr);
+  if (C < 0) {
     size_t Size = LargeObjects.getSize(Ptr);
     if (Size != 0 && LargeObjects.deallocate(Ptr)) {
-      ++Stats.LargeFrees;
-      LiveBytes -= Size;
+      ++LargeFreeCount;
+      LargeLiveBytes -= Size;
       return;
     }
-    ++Stats.IgnoredFrees;
+    ++ForeignIgnoredFrees;
     return;
   }
-
-  int C = partitionOf(Ptr);
-  assert(C >= 0 && C < SizeClass::NumClasses && "contains implies partition");
-  size_t ObjectSize = SizeClass::classToSize(C);
-  size_t Offset = static_cast<const char *>(Ptr) -
-                  (static_cast<const char *>(Heap.base()) +
-                   static_cast<size_t>(C) * PartitionSize);
-
-  // Validity check 1: the offset must be an exact multiple of the object
-  // size. Validity check 2: the slot must currently be allocated. Anything
-  // else is an invalid or double free and is ignored.
-  if (Offset % ObjectSize != 0) {
-    ++Stats.IgnoredFrees;
-    return;
-  }
-  size_t Index = Offset / ObjectSize;
-  if (!IsAllocated[C].tryClear(Index)) {
-    ++Stats.IgnoredFrees;
-    return;
-  }
-  assert(InUse[C] > 0 && "bitmap and counter out of sync");
-  --InUse[C];
-  ++Stats.Frees;
-  LiveBytes -= ObjectSize;
-  if (Opts.RandomFillOnFree)
-    randomFill(Ptr, ObjectSize);
+  Partitions[C].deallocate(Ptr);
 }
 
 void *DieHardHeap::reallocate(void *Ptr, size_t NewSize) {
@@ -232,49 +155,57 @@ void *DieHardHeap::allocateZeroed(size_t Count, size_t Size) {
 size_t DieHardHeap::getObjectSize(const void *Ptr) const {
   if (Ptr == nullptr)
     return 0;
-  if (!Heap.contains(Ptr))
+  int C = partitionIndexOf(Ptr);
+  if (C < 0)
     return LargeObjects.getSize(Ptr);
-  int C = partitionOf(Ptr);
-  size_t ObjectSize = SizeClass::classToSize(C);
-  size_t Offset = static_cast<const char *>(Ptr) -
-                  (static_cast<const char *>(Heap.base()) +
-                   static_cast<size_t>(C) * PartitionSize);
-  size_t Index = Offset / ObjectSize;
-  if (Index >= IsAllocated[C].size() || !IsAllocated[C].test(Index))
-    return 0;
-  return ObjectSize;
-}
-
-void DieHardHeap::forEachLiveObject(
-    const std::function<void(int Class, size_t Slot, const void *Ptr,
-                             size_t Size)> &Visit) const {
-  for (int C = 0; C < SizeClass::NumClasses; ++C) {
-    size_t ObjectSize = SizeClass::classToSize(C);
-    const char *PartitionStart = static_cast<const char *>(Heap.base()) +
-                                 static_cast<size_t>(C) * PartitionSize;
-    const Bitmap &Bits = IsAllocated[C];
-    for (size_t Slot = 0; Slot < Bits.size(); ++Slot)
-      if (Bits.test(Slot))
-        Visit(C, Slot, PartitionStart + Slot * ObjectSize, ObjectSize);
-  }
+  return Partitions[C].objectSize(Ptr);
 }
 
 void *DieHardHeap::getObjectStart(const void *Ptr) const {
   if (Ptr == nullptr)
     return nullptr;
-  if (!Heap.contains(Ptr)) {
+  int C = partitionIndexOf(Ptr);
+  if (C < 0) {
     // Large objects are only matched by their base address.
     return LargeObjects.contains(Ptr) ? const_cast<void *>(Ptr) : nullptr;
   }
-  int C = partitionOf(Ptr);
-  size_t ObjectSize = SizeClass::classToSize(C);
-  char *PartitionStart = static_cast<char *>(Heap.base()) +
-                         static_cast<size_t>(C) * PartitionSize;
-  size_t Offset = static_cast<const char *>(Ptr) - PartitionStart;
-  size_t Index = Offset / ObjectSize;
-  if (Index >= IsAllocated[C].size() || !IsAllocated[C].test(Index))
-    return nullptr;
-  return PartitionStart + Index * ObjectSize;
+  return Partitions[C].objectStart(Ptr);
+}
+
+size_t DieHardHeap::bytesLive() const {
+  size_t Total = LargeLiveBytes;
+  for (const RandomizedPartition &P : Partitions)
+    Total += P.liveBytes();
+  return Total;
+}
+
+DieHardStats DieHardHeap::stats() const {
+  DieHardStats S;
+  for (const RandomizedPartition &P : Partitions) {
+    const PartitionStats &PS = P.stats();
+    S.Allocations += PS.Allocations;
+    S.Frees += PS.Frees;
+    S.FailedAllocations += PS.FailedAllocations;
+    S.IgnoredFrees += PS.IgnoredFrees;
+    S.Probes += PS.Probes;
+    S.ProbeFallbacks += PS.ProbeFallbacks;
+  }
+  S.LargeAllocations = LargeAllocationCount;
+  S.LargeFrees = LargeFreeCount;
+  S.FailedAllocations += LargeFailedCount;
+  S.IgnoredFrees += ForeignIgnoredFrees;
+  return S;
+}
+
+void DieHardHeap::forEachLiveObject(
+    const std::function<void(int Class, size_t Slot, const void *Ptr,
+                             size_t Size)> &Visit) const {
+  for (int C = 0; C < NumPartitions; ++C) {
+    size_t ObjectSize = SizeClass::classToSize(C);
+    Partitions[C].forEachLive([&](size_t Slot, const void *Ptr) {
+      Visit(C, Slot, Ptr, ObjectSize);
+    });
+  }
 }
 
 } // namespace diehard

@@ -5,12 +5,21 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The randomized memory manager at the heart of DieHard (Section 4). The
-/// heap is logically partitioned into twelve power-of-two size-class regions
-/// (8 B .. 16 KB). Objects are placed uniformly at random within their
-/// region, each region may become at most 1/M full, all metadata (one bit
-/// per object) lives far from the heap, and free validates every address it
-/// is given. Larger objects go to the mmap-backed LargeObjectManager.
+/// The randomized memory manager at the heart of DieHard (Section 4),
+/// composed from twelve RandomizedPartition objects — one per power-of-two
+/// size class (8 B .. 16 KB) — plus the mmap-backed LargeObjectManager.
+/// Objects are placed uniformly at random within their class's partition,
+/// each partition may become at most 1/M full, all metadata (one bit per
+/// object) lives far from the heap, and free validates every address it is
+/// given. Larger objects go to the large-object manager.
+///
+/// The paper states its safety argument per partition, and the class
+/// structure mirrors that: DieHardHeap owns the contiguous reservation and
+/// the large-object path, routes each request to the partition that covers
+/// it, and aggregates accounting; everything class-specific — bitmap,
+/// threshold, probe logic, RNG stream — lives in RandomizedPartition. Each
+/// partition draws from its own RNG stream derived from the heap seed, so
+/// the sharded layer can lock partitions independently.
 ///
 /// This M-approximation of an infinite heap is what provides probabilistic
 /// memory safety: overflows probably land on free space, and prematurely
@@ -22,8 +31,8 @@
 #define DIEHARD_CORE_DIEHARDHEAP_H
 
 #include "core/LargeObjectManager.h"
+#include "core/RandomizedPartition.h"
 #include "core/SizeClass.h"
-#include "support/Bitmap.h"
 #include "support/MmapRegion.h"
 #include "support/Rng.h"
 
@@ -45,7 +54,8 @@ struct DieHardOptions {
   double M = 2.0;
 
   /// RNG seed. Zero selects a truly random seed (from /dev/urandom), which
-  /// is what the replicated framework wants; tests pass a fixed seed.
+  /// is what the replicated framework wants; tests pass a fixed seed. Each
+  /// partition derives its own stream from this seed.
   uint64_t Seed = 0;
 
   /// Replicated mode: fill each allocated object with random values so that
@@ -67,7 +77,8 @@ struct DieHardOptions {
 };
 
 /// Running counters describing heap behaviour; used by tests, benches, and
-/// the experiment harness.
+/// the experiment harness. Aggregated over the partitions on each stats()
+/// call.
 struct DieHardStats {
   uint64_t Allocations = 0;       ///< Successful small allocations.
   uint64_t Frees = 0;             ///< Successful small frees.
@@ -77,16 +88,31 @@ struct DieHardStats {
   uint64_t IgnoredFrees = 0;      ///< Invalid/double frees ignored.
   uint64_t Probes = 0;            ///< Bitmap probes across all allocations.
   uint64_t ProbeFallbacks = 0;    ///< Times the linear fallback scan ran.
+  uint64_t OverflowAllocations = 0; ///< Allocations served by a sibling
+                                    ///< shard (sharded layer only; always 0
+                                    ///< for a lone DieHardHeap).
 };
 
 /// The randomized DieHard memory manager.
 ///
-/// Not thread-safe by itself; concurrent users (e.g. the malloc
-/// interposition shim) must wrap calls in a lock. The heap never throws and
-/// never aborts on bad input: allocation failure returns nullptr and invalid
-/// frees are silently ignored, exactly as the paper specifies.
+/// Not thread-safe by itself; concurrent users must wrap calls in locks.
+/// Because every small-object operation touches exactly one partition, the
+/// sharded layer locks at partition granularity: two threads are free to
+/// operate on *different* size classes of the same DieHardHeap
+/// concurrently, as long as each class is serialized (see ShardedHeap for
+/// the lock table; partitionIndexOf() is the pre-lock routing query). The
+/// large-object path and the whole-heap queries (stats(), bytesLive(),
+/// forEachLiveObject()) are not covered by that scheme and remain
+/// single-threaded-or-externally-serialized.
+///
+/// The heap never throws and never aborts on bad input: allocation failure
+/// returns nullptr and invalid frees are silently ignored, exactly as the
+/// paper specifies.
 class DieHardHeap {
 public:
+  /// Number of size-class partitions.
+  static constexpr int NumPartitions = SizeClass::NumClasses;
+
   /// Creates a heap per \p Options. On mmap failure the heap is unusable and
   /// every allocation returns nullptr (isValid() reports false).
   explicit DieHardHeap(const DieHardOptions &Options = DieHardOptions());
@@ -137,23 +163,39 @@ public:
   /// Size in bytes of the small-object reservation (0 if invalid).
   size_t heapBytes() const { return Heap.size(); }
 
+  /// Index of the partition (= size class) covering \p Ptr, or -1 if \p Ptr
+  /// is outside the small-object reservation. This is the pre-lock routing
+  /// query concurrent layers use to pick the partition lock before calling
+  /// deallocate()/getObjectSize(); it reads only construction-time state.
+  int partitionIndexOf(const void *Ptr) const;
+
+  /// Read-only access to partition \p Class: per-partition stats, fill
+  /// gauges, and the live-object walk. The lock-free gauges (live(),
+  /// liveBytes(), fill()) are safe to read concurrently; the rest follows
+  /// the partition's locking discipline.
+  const RandomizedPartition &partition(int Class) const;
+
   /// Number of live small objects in size class \p Class.
-  size_t liveInClass(int Class) const;
+  size_t liveInClass(int Class) const { return partition(Class).live(); }
 
   /// Slot capacity of size class \p Class (before applying the 1/M bound).
-  size_t slotsInClass(int Class) const;
+  size_t slotsInClass(int Class) const { return partition(Class).slots(); }
 
   /// Maximum live objects allowed in \p Class (the 1/M threshold).
-  size_t thresholdForClass(int Class) const;
+  size_t thresholdForClass(int Class) const {
+    return partition(Class).threshold();
+  }
 
   /// Bytes currently live (rounded sizes; includes large objects).
-  size_t bytesLive() const { return LiveBytes; }
+  size_t bytesLive() const;
 
   /// The heap options this instance was built with.
   const DieHardOptions &options() const { return Opts; }
 
-  /// Behaviour counters.
-  const DieHardStats &stats() const { return Stats; }
+  /// Behaviour counters, aggregated across the partitions and the
+  /// large-object path. Not synchronized: call single-threaded or use the
+  /// sharded layer's locked aggregation.
+  DieHardStats stats() const;
 
   /// The seed actually used (after resolving Seed == 0 to a random one).
   uint64_t seed() const { return ResolvedSeed; }
@@ -166,25 +208,30 @@ public:
                                size_t Size)> &Visit) const;
 
 private:
-  /// Returns the partition index (= size class) containing \p Ptr, or -1.
-  int partitionOf(const void *Ptr) const;
-
-  /// Fills \p Size bytes at \p Ptr with values from the heap RNG.
+  /// Fills \p Size bytes at \p Ptr with values from the heap-level RNG
+  /// (whole-heap init fill and large-object fill; partitions fill their own
+  /// objects from their own streams).
   void randomFill(void *Ptr, size_t Size);
 
   DieHardOptions Opts;
   uint64_t ResolvedSeed = 0;
-  Rng Rand;
+  Rng Rand; ///< Heap-level stream: init fill and large-object fill only.
   MmapRegion Heap;
   size_t PartitionSize = 0; ///< Bytes per size-class partition.
 
-  Bitmap IsAllocated[SizeClass::NumClasses]; ///< One bit per slot.
-  size_t InUse[SizeClass::NumClasses] = {};  ///< Live objects per class.
-  size_t Threshold[SizeClass::NumClasses] = {}; ///< 1/M caps per class.
+  RandomizedPartition Partitions[NumPartitions];
 
   LargeObjectManager LargeObjects;
-  size_t LiveBytes = 0;
-  DieHardStats Stats;
+
+  // Large-object and foreign-pointer accounting. These live at the heap
+  // level (not in any partition) and are only touched by the stand-alone
+  // large path and by frees of pointers outside the reservation — paths the
+  // sharded layer never routes into a shard, so they need no lock there.
+  uint64_t LargeAllocationCount = 0;
+  uint64_t LargeFreeCount = 0;
+  uint64_t LargeFailedCount = 0;
+  uint64_t ForeignIgnoredFrees = 0;
+  size_t LargeLiveBytes = 0;
 };
 
 } // namespace diehard

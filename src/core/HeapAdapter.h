@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Adapts a DieHardHeap to the uniform Allocator facade so workloads,
-/// replica bodies, and benches can drive a replica-private heap through the
-/// same interface as the baseline allocators.
+/// Adapts a DieHardHeap (or a ShardedHeap) to the uniform Allocator facade
+/// so workloads, replica bodies, and benches can drive a replica-private
+/// heap — or the whole thread-scalable sharded front end — through the same
+/// interface as the baseline allocators.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +17,7 @@
 
 #include "baselines/Allocator.h"
 #include "core/DieHardHeap.h"
+#include "core/ShardedHeap.h"
 
 namespace diehard {
 
@@ -32,6 +34,26 @@ public:
 
 private:
   DieHardHeap &H;
+  const char *Name;
+};
+
+/// Allocator facade over a ShardedHeap, which must outlive the adapter.
+/// Unlike HeapAdapter this facade is thread-safe end to end (the sharded
+/// layer locks per partition), so one adapter instance can serve a
+/// multithreaded workload.
+class ShardedHeapAdapter final : public Allocator {
+public:
+  /// Wraps \p Target; \p AdapterName is returned by getName().
+  explicit ShardedHeapAdapter(ShardedHeap &Target,
+                              const char *AdapterName = "diehard-sharded")
+      : H(Target), Name(AdapterName) {}
+
+  void *allocate(size_t Size) override { return H.allocate(Size); }
+  void deallocate(void *Ptr) override { H.deallocate(Ptr); }
+  const char *getName() const override { return Name; }
+
+private:
+  ShardedHeap &H;
   const char *Name;
 };
 

@@ -1,0 +1,133 @@
+//===- core/RandomizedPartition.cpp ---------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implementation of the per-size-class randomized partition: the Figure 2
+/// probe/fallback placement discipline and validated frees, scoped to one
+/// region.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RandomizedPartition.h"
+
+#include <cassert>
+
+namespace diehard {
+
+size_t claimRandomSlot(Bitmap &Bits, Rng &Rand, size_t Slots,
+                       uint64_t &Probes, uint64_t &Fallbacks) {
+  assert(Slots != 0 && Slots == Bits.size() && "bitmap must cover the slots");
+  // Probe for a free slot, like probing into a hash table. Since the region
+  // is at most 1/M full, the expected probe count is 1/(1 - 1/M); a bounded
+  // number of random probes followed by a linear fallback guarantees
+  // termination without measurably biasing placement.
+  for (int Attempt = 0; Attempt < 64; ++Attempt) {
+    ++Probes;
+    size_t Index = Rand.nextBounded(static_cast<uint32_t>(Slots));
+    if (Bits.trySet(Index))
+      return Index;
+  }
+  ++Fallbacks;
+  size_t Start = Rand.nextBounded(static_cast<uint32_t>(Slots));
+  size_t Index = Bits.findNextClear(Start);
+  if (Index == Slots)
+    Index = Bits.findNextClear(0);
+  if (Index == Slots)
+    return Slots; // Every slot taken; the 1/M threshold makes this unreachable.
+  Bits.trySet(Index);
+  return Index;
+}
+
+void randomFillWords(Rng &Rand, void *Ptr, size_t Bytes) {
+  auto *Words = static_cast<uint32_t *>(Ptr);
+  for (size_t I = 0; I < Bytes / sizeof(uint32_t); ++I)
+    Words[I] = Rand.next();
+}
+
+bool RandomizedPartition::init(void *RegionBase, size_t ObjectBytes,
+                               size_t NumSlots, double M, uint64_t Seed,
+                               bool FillAllocate, bool FillFree) {
+  assert(M > 1.0 && "expansion factor M must exceed 1");
+  Base = static_cast<char *>(RegionBase);
+  ObjectSize = ObjectBytes;
+  Slots = NumSlots;
+  // The region is allowed to become at most 1/M full (Section 4.1).
+  Threshold = static_cast<size_t>(static_cast<double>(NumSlots) / M);
+  StreamSeed = Seed;
+  FillOnAllocate = FillAllocate;
+  FillOnFree = FillFree;
+  Rand.setSeed(Seed);
+  IsAllocated.reset(NumSlots);
+  return IsAllocated.size() == NumSlots;
+}
+
+void RandomizedPartition::randomFill(void *Ptr, size_t Bytes) {
+  randomFillWords(Rand, Ptr, Bytes);
+}
+
+void *RandomizedPartition::allocate() {
+  if (InUse.load(std::memory_order_relaxed) >= Threshold) {
+    // At threshold: the 1/M bound says no more memory for this class.
+    ++Stats.FailedAllocations;
+    return nullptr;
+  }
+  size_t Index = claimRandomSlot(IsAllocated, Rand, Slots, Stats.Probes,
+                                 Stats.ProbeFallbacks);
+  if (Index == Slots) {
+    ++Stats.FailedAllocations;
+    return nullptr;
+  }
+  InUse.fetch_add(1, std::memory_order_relaxed);
+  ++Stats.Allocations;
+  LiveBytes.fetch_add(ObjectSize, std::memory_order_relaxed);
+  char *Ptr = Base + Index * ObjectSize;
+  if (FillOnAllocate)
+    randomFill(Ptr, ObjectSize);
+  return Ptr;
+}
+
+bool RandomizedPartition::deallocate(void *Ptr) {
+  assert(contains(Ptr) && "caller routes only pointers in this partition");
+  size_t Offset = static_cast<size_t>(static_cast<char *>(Ptr) - Base);
+  // Validity check 1: the offset must be an exact multiple of the object
+  // size. Validity check 2: the slot must currently be allocated. Anything
+  // else is an invalid or double free and is ignored.
+  if (Offset % ObjectSize != 0) {
+    ++Stats.IgnoredFrees;
+    return false;
+  }
+  size_t Index = Offset / ObjectSize;
+  if (!IsAllocated.tryClear(Index)) {
+    ++Stats.IgnoredFrees;
+    return false;
+  }
+  assert(InUse.load(std::memory_order_relaxed) > 0 &&
+         "bitmap and counter out of sync");
+  InUse.fetch_sub(1, std::memory_order_relaxed);
+  ++Stats.Frees;
+  LiveBytes.fetch_sub(ObjectSize, std::memory_order_relaxed);
+  if (FillOnFree)
+    randomFill(Ptr, ObjectSize);
+  return true;
+}
+
+size_t RandomizedPartition::objectSize(const void *Ptr) const {
+  assert(contains(Ptr) && "caller routes only pointers in this partition");
+  size_t Offset =
+      static_cast<size_t>(static_cast<const char *>(Ptr) - Base);
+  size_t Index = Offset / ObjectSize;
+  return IsAllocated.test(Index) ? ObjectSize : 0;
+}
+
+void *RandomizedPartition::objectStart(const void *Ptr) const {
+  assert(contains(Ptr) && "caller routes only pointers in this partition");
+  size_t Offset =
+      static_cast<size_t>(static_cast<const char *>(Ptr) - Base);
+  size_t Index = Offset / ObjectSize;
+  return IsAllocated.test(Index) ? Base + Index * ObjectSize : nullptr;
+}
+
+} // namespace diehard

@@ -1,0 +1,176 @@
+//===- core/RandomizedPartition.h - one size-class miniheap -----*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One size class's randomized region, extracted from the DieHardHeap
+/// monolith. The paper's safety argument (Sections 3-4) is stated per
+/// partition: each power-of-two region is an independent M-approximation of
+/// an infinite heap with its own allocation bitmap, 1/M fill bound, and
+/// uniform random placement. Materializing that unit as a class gives the
+/// layers above a natural locking granularity — two threads touching
+/// different size classes of the same heap share no partition state — and
+/// gives each partition its own RNG stream, derived from the heap seed, so
+/// partitions can be driven concurrently without serializing on a shared
+/// generator.
+///
+/// A partition is a slab of `Slots` objects of one rounded size inside the
+/// owning heap's reservation. It owns the allocation bitmap (stored far from
+/// the heap, Section 4.1), the live count, the 1/M threshold, live-byte
+/// accounting, the probe/fallback placement logic of Figure 2, and the
+/// replicated-mode random-fill behaviour for its objects.
+///
+/// Thread safety: none by itself, by design — the sharded layer wraps each
+/// partition in its own cache-line-padded lock. The live()/liveBytes()
+/// gauges are relaxed atomics so overflow routing and stats reporting may
+/// *read* them without taking the partition's lock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_CORE_RANDOMIZEDPARTITION_H
+#define DIEHARD_CORE_RANDOMIZEDPARTITION_H
+
+#include "support/Bitmap.h"
+#include "support/Rng.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace diehard {
+
+/// Behaviour counters of a single partition. Mutated only by the partition's
+/// owner (under the partition lock in concurrent configurations).
+struct PartitionStats {
+  uint64_t Allocations = 0;       ///< Successful allocations.
+  uint64_t Frees = 0;             ///< Successful frees.
+  uint64_t FailedAllocations = 0; ///< Requests refused (1/M bound reached).
+  uint64_t IgnoredFrees = 0;      ///< Invalid/double frees ignored.
+  uint64_t Probes = 0;            ///< Bitmap probes across all allocations.
+  uint64_t ProbeFallbacks = 0;    ///< Times the linear fallback scan ran.
+};
+
+/// Claims a free slot in \p Bits: up to 64 uniform random probes, then a
+/// linear fallback scan from a random start (Figure 2's termination
+/// guarantee without measurably biasing placement). The claimed bit is set
+/// before returning. \returns the slot index, or \p Slots if every bit is
+/// set. \p Probes and \p Fallbacks are incremented in place so callers can
+/// keep their own counter domains.
+size_t claimRandomSlot(Bitmap &Bits, Rng &Rand, size_t Slots,
+                       uint64_t &Probes, uint64_t &Fallbacks);
+
+/// Fills \p Bytes bytes at \p Ptr from \p Rand in 32-bit units, as in
+/// Figure 2 of the paper (the replicated-mode fill; callers pass sizes
+/// already rounded to a multiple of 4). Shared by the partitions, both
+/// heaps' large-object paths, and the adaptive heap.
+void randomFillWords(Rng &Rand, void *Ptr, size_t Bytes);
+
+/// One size class's randomized region: bitmap, 1/M threshold, RNG stream,
+/// and accounting. See the file comment for the design rationale.
+class RandomizedPartition {
+public:
+  RandomizedPartition() = default;
+  RandomizedPartition(const RandomizedPartition &) = delete;
+  RandomizedPartition &operator=(const RandomizedPartition &) = delete;
+
+  /// Binds the partition to the \p NumSlots objects of \p ObjectBytes each
+  /// starting at \p RegionBase, installs the 1/M threshold, and seeds the
+  /// partition's RNG with \p StreamSeed (a per-class stream derived from
+  /// the heap seed). \p FillOnAllocate / \p FillOnFree select the
+  /// replicated-mode random-fill behaviour (Section 3.2). \returns false if
+  /// the bitmap mapping failed, in which case the partition is unusable.
+  bool init(void *RegionBase, size_t ObjectBytes, size_t NumSlots, double M,
+            uint64_t StreamSeed, bool FillOnAllocate, bool FillOnFree);
+
+  /// Random-probe allocation of one object (Figure 2). \returns nullptr
+  /// when the partition is at its 1/M threshold.
+  void *allocate();
+
+  /// Validated free. The pointer must lie inside this partition's region;
+  /// wrong slot offsets, double frees and dead slots are counted and
+  /// ignored. \returns true if an object was actually freed.
+  bool deallocate(void *Ptr);
+
+  /// Usable (rounded) size of the live object containing \p Ptr — interior
+  /// pointers allowed — or 0 if the slot is not live.
+  size_t objectSize(const void *Ptr) const;
+
+  /// Start of the live object containing \p Ptr (interior pointers
+  /// allowed), or nullptr if the slot is not live.
+  void *objectStart(const void *Ptr) const;
+
+  /// True if \p Ptr lies anywhere inside the partition's region.
+  bool contains(const void *Ptr) const {
+    const char *P = static_cast<const char *>(Ptr);
+    return P >= Base && P < Base + Slots * ObjectSize;
+  }
+
+  /// Visits every live object as (slot index, pointer), slot ascending.
+  /// The deterministic order is what the heap-differencing debugger keys
+  /// its snapshots on.
+  template <typename Visitor> void forEachLive(Visitor &&Visit) const {
+    for (size_t Slot = 0; Slot < IsAllocated.size(); ++Slot)
+      if (IsAllocated.test(Slot))
+        Visit(Slot, static_cast<const void *>(Base + Slot * ObjectSize));
+  }
+
+  /// Number of live objects. Relaxed-atomic gauge: safe to read without the
+  /// partition lock (overflow routing ranks sibling partitions with it).
+  size_t live() const { return InUse.load(std::memory_order_relaxed); }
+
+  /// Bytes live in this partition (rounded sizes). Lock-free gauge.
+  size_t liveBytes() const {
+    return LiveBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Fill level relative to the 1/M threshold, in [0, 1]. 1.0 means the
+  /// partition refuses further allocations. Lock-free gauge.
+  double fill() const {
+    return Threshold == 0
+               ? 1.0
+               : static_cast<double>(live()) / static_cast<double>(Threshold);
+  }
+
+  /// Slot capacity (before applying the 1/M bound).
+  size_t slots() const { return Slots; }
+
+  /// Maximum live objects allowed (the 1/M threshold).
+  size_t threshold() const { return Threshold; }
+
+  /// The rounded object size this partition serves.
+  size_t objectBytes() const { return ObjectSize; }
+
+  /// First byte of the partition's region.
+  const void *base() const { return Base; }
+
+  /// The seed of this partition's RNG stream.
+  uint64_t streamSeed() const { return StreamSeed; }
+
+  /// Behaviour counters. Read under the partition lock in concurrent
+  /// configurations; the fields are plain (non-atomic) integers.
+  const PartitionStats &stats() const { return Stats; }
+
+private:
+  /// Fills \p Bytes bytes at \p Ptr from this partition's RNG stream, in
+  /// 32-bit units as in Figure 2 (object sizes are multiples of 8).
+  void randomFill(void *Ptr, size_t Bytes);
+
+  char *Base = nullptr;
+  size_t ObjectSize = 0;
+  size_t Slots = 0;
+  size_t Threshold = 0;
+  uint64_t StreamSeed = 0;
+  bool FillOnAllocate = false;
+  bool FillOnFree = false;
+  Rng Rand;
+  Bitmap IsAllocated;
+  std::atomic<size_t> InUse{0};
+  std::atomic<size_t> LiveBytes{0};
+  PartitionStats Stats;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_CORE_RANDOMIZEDPARTITION_H

@@ -6,7 +6,8 @@
 ///
 /// \file
 /// Implementation of the sharded heap: thread-token assignment, owner lookup
-/// through the AddressRangeMap, and the shared large-object path. See the
+/// through the range array and AddressRangeMap, per-partition locking, the
+/// overflow routing slow path, and the shared large-object path. See the
 /// header for the locking discipline.
 ///
 //===----------------------------------------------------------------------===//
@@ -16,6 +17,7 @@
 #include "core/SizeClass.h"
 #include "support/RealRandomSource.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 
@@ -25,13 +27,8 @@ namespace diehard {
 
 namespace {
 
-/// Decorrelates the per-shard seeds derived from a fixed base seed. Shard 0
-/// uses the base seed verbatim so a single-shard heap reproduces a lone
-/// DieHardHeap bit for bit.
-constexpr uint64_t ShardSeedStride = 0x9E3779B97F4A7C15ULL;
-
 /// Salt for the large-object fill RNG, so its stream is unrelated to any
-/// shard's placement stream under a fixed seed.
+/// shard's placement streams under a fixed seed.
 constexpr uint64_t LargeSeedSalt = 0xD1E4A8D0B5E7ULL;
 
 /// Monotonic source of thread tokens. Process-global (not per heap): a
@@ -77,7 +74,8 @@ ShardedHeap::ShardedHeap(const ShardedHeapOptions &Options) : Opts(Options) {
   for (size_t I = 0; I < N; ++I) {
     DieHardOptions O = PerShard;
     if (Opts.Heap.Seed != 0)
-      O.Seed = Opts.Heap.Seed + static_cast<uint64_t>(I) * ShardSeedStride;
+      O.Seed = Rng::deriveStream(Opts.Heap.Seed, static_cast<uint64_t>(I),
+                                 Rng::ShardStreamGamma);
     Shards.push_back(std::make_unique<Shard>(O));
     Valid = Valid && Shards.back()->Heap.isValid();
   }
@@ -128,14 +126,86 @@ uint32_t ShardedHeap::homeShard() const {
   return (T - 1) % static_cast<uint32_t>(Shards.size());
 }
 
+void *ShardedHeap::allocateSmallIn(uint32_t Index, int Class, size_t Size) {
+  Shard &S = *Shards[Index];
+  std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+  return S.Heap.allocate(Size);
+}
+
 void *ShardedHeap::allocate(size_t Size) {
   if (!Valid || Size == 0)
     return nullptr;
   if (Size > SizeClass::MaxObjectSize)
     return allocateLarge(Size);
-  Shard &S = *Shards[homeShard()];
-  std::lock_guard<std::mutex> Guard(S.Lock);
-  return S.Heap.allocate(Size);
+  int Class = SizeClass::sizeToClass(Size);
+  uint32_t Home = homeShard();
+  bool Route = Opts.OverflowRouting && Shards.size() > 1;
+
+  // With routing on, a saturated home partition is a detour, not a
+  // failure, so keep its FailedAllocations meaningful: skip the locked
+  // attempt when the lock-free gauge already shows the 1/M bound. A stale
+  // gauge read can still let a doomed attempt through — the partition
+  // re-checks under its lock and counts that refusal — so remember
+  // whether home already recorded this request before counting the
+  // whole-request failure below.
+  void *Ptr = nullptr;
+  bool HomeCounted = false;
+  const RandomizedPartition &HomePart = Shards[Home]->Heap.partition(Class);
+  if (!Route || HomePart.live() < HomePart.threshold()) {
+    Ptr = allocateSmallIn(Home, Class, Size);
+    HomeCounted = Ptr == nullptr;
+  }
+  if (Ptr != nullptr || !Route)
+    return Ptr;
+  // Home partition at its 1/M bound: steal capacity from a sibling.
+  Ptr = allocateOverflow(Home, Class, Size);
+  if (Ptr == nullptr && !HomeCounted) {
+    // The request failed as a whole (home and every viable sibling
+    // saturated) and no partition counter recorded a refusal — the
+    // saturated partitions were skipped by gauge — so record the failed
+    // malloc here. One failed request thus counts once in the common
+    // path; the only residual imprecision is a stale-gauge race letting
+    // a refusal through whose request a sibling then serves, which
+    // leaves a spurious partition-level count behind (benign, rare, and
+    // only possible under concurrent saturation).
+    OverflowFailedCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Ptr;
+}
+
+void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
+  // Rank siblings by the target partition's fill, skipping ones whose
+  // gauge already shows saturation. The gauges are relaxed atomics, so
+  // this snapshot can be stale — harmless, because the chosen partition
+  // re-checks its 1/M bound under its own lock. All shards share one
+  // threshold (same options), so the live count alone orders fills.
+  struct Candidate {
+    size_t Live;
+    uint32_t Index;
+  };
+  Candidate Candidates[MaxShards];
+  size_t N = 0;
+  for (uint32_t I = 0; I < Shards.size(); ++I) {
+    if (I == Home)
+      continue;
+    const RandomizedPartition &P = Shards[I]->Heap.partition(Class);
+    if (P.live() < P.threshold())
+      Candidates[N++] = {P.live(), I};
+  }
+  std::sort(Candidates, Candidates + N,
+            [](const Candidate &A, const Candidate &B) {
+              return A.Live < B.Live;
+            });
+
+  size_t Probes = N < MaxOverflowProbes ? N : MaxOverflowProbes;
+  for (size_t K = 0; K < Probes; ++K) {
+    void *Ptr = allocateSmallIn(Candidates[K].Index, Class, Size);
+    if (Ptr != nullptr) {
+      OverflowCount.fetch_add(1, std::memory_order_relaxed);
+      return Ptr;
+    }
+  }
+  return nullptr; // Every probed sibling is at its 1/M bound too.
 }
 
 void *ShardedHeap::allocateLarge(size_t Size) {
@@ -155,11 +225,8 @@ void *ShardedHeap::allocateLarge(size_t Size) {
   ++LargeStats.LargeAllocations;
   LargeLiveBytes += Size;
   if (Opts.Heap.RandomFillObjects) {
-    // Same 32-bit fill as DieHardHeap::randomFill, from the dedicated
-    // large-object stream.
-    auto *Words = static_cast<uint32_t *>(Ptr);
-    for (size_t I = 0; I < (Size & ~size_t(3)) / sizeof(uint32_t); ++I)
-      Words[I] = LargeRand.next();
+    // Same fill as DieHardHeap, from the dedicated large-object stream.
+    randomFillWords(LargeRand, Ptr, Size & ~size_t(3));
   }
   return Ptr;
 }
@@ -182,7 +249,10 @@ void ShardedHeap::deallocateOwned(void *Ptr, uint32_t Owner) {
     return;
   }
   Shard &S = *Shards[Owner];
-  std::lock_guard<std::mutex> Guard(S.Lock);
+  // The partition index derives from immutable construction-time geometry,
+  // so routing to the right lock needs no lock itself.
+  int Class = S.Heap.partitionIndexOf(Ptr);
+  std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
   S.Heap.deallocate(Ptr);
 }
 
@@ -250,8 +320,9 @@ size_t ShardedHeap::sizeOfOwned(const void *Ptr, uint32_t Owner) const {
     return LargeObjects.getSize(Ptr);
   }
   const Shard &S = *Shards[Owner];
-  std::lock_guard<std::mutex> Guard(S.Lock);
-  return S.Heap.getObjectSize(Ptr);
+  int Class = S.Heap.partitionIndexOf(Ptr);
+  std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+  return S.Heap.partition(Class).objectSize(Ptr);
 }
 
 DieHardStats ShardedHeap::stats() const {
@@ -261,17 +332,28 @@ DieHardStats ShardedHeap::stats() const {
     Total = LargeStats;
   }
   Total.IgnoredFrees += ForeignFrees.load(std::memory_order_relaxed);
+  Total.OverflowAllocations = OverflowCount.load(std::memory_order_relaxed);
+  Total.FailedAllocations +=
+      OverflowFailedCount.load(std::memory_order_relaxed);
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->Lock);
-    const DieHardStats &St = S->Heap.stats();
-    Total.Allocations += St.Allocations;
-    Total.Frees += St.Frees;
-    Total.LargeAllocations += St.LargeAllocations;
-    Total.LargeFrees += St.LargeFrees;
-    Total.FailedAllocations += St.FailedAllocations;
-    Total.IgnoredFrees += St.IgnoredFrees;
-    Total.Probes += St.Probes;
-    Total.ProbeFallbacks += St.ProbeFallbacks;
+    // One partition lock at a time, ascending class order (the only place a
+    // thread may take several locks of one shard; see the lock hierarchy).
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+      std::lock_guard<std::mutex> Guard(partitionLock(*S, C));
+      const PartitionStats &PS = S->Heap.partition(C).stats();
+      Total.Allocations += PS.Allocations;
+      Total.Frees += PS.Frees;
+      Total.FailedAllocations += PS.FailedAllocations;
+      Total.IgnoredFrees += PS.IgnoredFrees;
+      Total.Probes += PS.Probes;
+      Total.ProbeFallbacks += PS.ProbeFallbacks;
+    }
+    // A shard heap's own large path is never exercised behind this layer
+    // (large requests use the shared path above, and only in-reservation
+    // pointers route into a shard), so its heap-level large counters stay
+    // zero forever — nothing to fold in, and skipping them keeps this
+    // aggregation off DieHardHeap::stats(), whose unlocked partition reads
+    // would race with concurrent allocation.
   }
   return Total;
 }
@@ -282,10 +364,10 @@ size_t ShardedHeap::bytesLive() const {
     std::lock_guard<std::mutex> Guard(LargeLock);
     Total = LargeLiveBytes;
   }
-  for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->Lock);
-    Total += S->Heap.bytesLive();
-  }
+  // Partition live-byte gauges are relaxed atomics: no locks needed.
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).liveBytes();
   return Total;
 }
 

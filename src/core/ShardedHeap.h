@@ -15,33 +15,55 @@
 ///
 /// Each thread is pinned to a home shard by a cheap thread-local token
 /// (round-robin assignment on first allocation), so the common malloc/free
-/// pattern — free on the thread that allocated — touches exactly one
-/// per-shard mutex and scales with the number of cores. Frees, reallocs and
-/// size queries of pointers owned by *another* shard are routed to the
-/// owner by address: shard reservations are immutable after construction,
-/// so they are matched against a lock-free array of ranges, and live large
-/// objects (which come and go) are looked up in an AddressRangeMap under a
-/// shared lock. Objects above SizeClass::MaxObjectSize bypass the shards
-/// entirely and go to one shared LargeObjectManager behind its own lock, so
-/// large-object traffic never serializes small-object traffic.
+/// pattern — free on the thread that allocated — touches exactly one lock.
+/// Locking is *per partition*, not per shard: a shard's DieHardHeap is
+/// twelve independent RandomizedPartition objects, and each gets its own
+/// cache-line-padded mutex, so two threads sharing a home shard but
+/// allocating different size classes do not contend at all. (The paper's
+/// analysis is stated per partition; the lock granularity just follows it.)
+///
+/// Frees, reallocs and size queries of pointers owned by *another* shard
+/// are routed to the owner by address: shard reservations are immutable
+/// after construction, so they are matched against a lock-free array of
+/// ranges — and the partition index within the owner is derived from the
+/// offset, again lock-free — before exactly one partition lock is taken.
+/// Live large objects (which come and go) are looked up in an
+/// AddressRangeMap under a shared lock. Objects above
+/// SizeClass::MaxObjectSize bypass the shards entirely and go to one shared
+/// LargeObjectManager behind its own lock, so large-object traffic never
+/// serializes small-object traffic.
+///
+/// Overflow routing (DIEHARD_OVERFLOW): when the calling thread's home
+/// partition is at its 1/M bound, the allocation is routed to the same
+/// class's partition on the least-loaded sibling shard (a bounded probe in
+/// ascending fill order) instead of failing. The 1/M invariant still holds
+/// partition by partition — the object simply lives in a sibling's
+/// M-approximated region, and frees find it through the range array like
+/// any cross-thread free. Disabled, the strict per-shard bound applies and
+/// saturation returns nullptr as in a lone DieHardHeap.
 ///
 /// With NumShards == 1, small-object behaviour is bit-identical to a lone
-/// DieHardHeap with the same options: one shard, same seed, same RNG stream,
-/// same slots (a unit test enforces this). The one divergence is replicated
-/// mode with large objects: a lone DieHardHeap fills those from the same
-/// stream that drives small-object placement, while this layer fills them
-/// from a dedicated stream — placement remains deterministic per seed
-/// (which is the invariant replica voting needs; replicas all run this
-/// code), it just differs from the unsharded heap's sequence. Replicas run
-/// one shard so scheduling cannot perturb their allocation order.
+/// DieHardHeap with the same options: one shard, same seed, same per-class
+/// RNG streams, same slots (a unit test enforces this; overflow routing
+/// never engages with no siblings). The one divergence is replicated mode
+/// with large objects: a lone DieHardHeap fills those from its heap-level
+/// stream, while this layer fills them from a dedicated stream — placement
+/// remains deterministic per seed (which is the invariant replica voting
+/// needs; replicas all run this code), it just differs from the unsharded
+/// heap's sequence. Replicas run one shard so scheduling cannot perturb
+/// their allocation order.
 ///
-/// Lock ordering (a thread may hold at most one of each, acquired left to
-/// right): LargeLock -> AddressRangeMap lock -> shard lock. Nothing that
-/// runs under LargeLock allocates through the global allocator — the
-/// large-object validity table is mmap-backed precisely so that, under the
-/// malloc shim, the locked large path can never re-enter itself. (The
-/// registry's map nodes are small and are therefore served by a shard, a
-/// lock this path is allowed to take.)
+/// Lock ordering: LargeLock -> AddressRangeMap lock -> partition lock. A
+/// thread holds at most one partition lock at a time, with one exception:
+/// the stats()/aggregation paths may hold several partition locks *of the
+/// same shard* acquired in ascending class order (never locks of two
+/// different shards). Overflow routing takes sibling partition locks only
+/// after releasing the home partition's lock. Nothing that runs under
+/// LargeLock allocates through the global allocator — the large-object
+/// validity table is mmap-backed precisely so that, under the malloc shim,
+/// the locked large path can never re-enter itself. (The registry's map
+/// nodes are small and are therefore served by a shard, a lock this path is
+/// allowed to take.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -75,23 +97,42 @@ struct ShardedHeapOptions {
   /// Number of shards. 0 selects one shard per online CPU. Values are
   /// clamped to [1, MaxShards].
   size_t NumShards = 0;
+
+  /// When a thread's home partition is at its 1/M bound, route the
+  /// allocation to the least-loaded sibling shard's same-class partition
+  /// instead of failing (see the file comment). No effect with one shard.
+  /// The shim maps DIEHARD_OVERFLOW onto this.
+  bool OverflowRouting = true;
+
+  /// Lock at partition granularity (default). False degrades every shard
+  /// to one coarse lock shared by all twelve partitions — the pre-partition
+  /// behaviour — kept as a measurement baseline for bench_mt_scaling's
+  /// contention scenario.
+  bool PartitionLocking = true;
 };
 
 /// Thread-scalable sharded DieHard heap.
 ///
-/// All public methods are thread-safe. Per-shard behaviour (placement
+/// All public methods are thread-safe. Per-partition behaviour (placement
 /// randomization, 1/M thresholds, free validation) is delegated to
-/// DieHardHeap; this layer only adds routing and locking.
+/// DieHardHeap's RandomizedPartition objects; this layer only adds routing
+/// and locking.
 class ShardedHeap {
 public:
   /// Upper bound on NumShards; keeps token arithmetic and the per-shard
   /// reservation split sane on absurd inputs.
   static constexpr size_t MaxShards = 64;
 
+  /// Overflow routing probes at most this many sibling shards (least
+  /// loaded first) before giving up. Bounds the worst-case work of an
+  /// allocation at saturation.
+  static constexpr size_t MaxOverflowProbes = 8;
+
   /// Creates the shards per \p Options. As with DieHardHeap, a reservation
   /// failure leaves the heap unusable rather than throwing: isValid() turns
   /// false and every allocation returns nullptr.
-  explicit ShardedHeap(const ShardedHeapOptions &Options = ShardedHeapOptions());
+  explicit ShardedHeap(
+      const ShardedHeapOptions &Options = ShardedHeapOptions());
 
   ShardedHeap(const ShardedHeap &) = delete;
   ShardedHeap &operator=(const ShardedHeap &) = delete;
@@ -100,9 +141,11 @@ public:
   /// True if every shard's backing reservation succeeded.
   bool isValid() const { return Valid; }
 
-  /// Allocates \p Size bytes from the calling thread's home shard, or from
-  /// the shared large-object path when \p Size exceeds
-  /// SizeClass::MaxObjectSize. \returns nullptr on failure, as DieHardHeap.
+  /// Allocates \p Size bytes from the calling thread's home shard — or, if
+  /// the home partition is saturated and overflow routing is on, from the
+  /// least-loaded sibling shard's same-class partition — or from the shared
+  /// large-object path when \p Size exceeds SizeClass::MaxObjectSize.
+  /// \returns nullptr on failure, as DieHardHeap.
   void *allocate(size_t Size);
 
   /// Frees \p Ptr on whichever shard owns it, regardless of which thread
@@ -127,7 +170,9 @@ public:
   size_t numShards() const { return Shards.size(); }
 
   /// Read-only access to shard \p Index's heap, for tests and diagnostics.
-  /// Only safe when no other thread is mutating the heap.
+  /// The partition fill gauges (live()/liveBytes()/fill()) are safe
+  /// concurrently; everything else only when no other thread is mutating
+  /// the heap.
   const DieHardHeap &shard(size_t Index) const;
 
   /// Index of the shard owning \p Ptr, numShards() for a live large object,
@@ -138,9 +183,22 @@ public:
   size_t homeShardIndex() const { return homeShard(); }
 
   /// Behaviour counters aggregated across every shard and the large-object
-  /// path. Takes every lock briefly; intended for tests and reporting, not
-  /// hot paths.
+  /// path (including OverflowAllocations). Takes each partition lock
+  /// briefly; intended for tests and reporting, not hot paths.
   DieHardStats stats() const;
+
+  /// Allocations that were served by a sibling shard because the home
+  /// partition was at its 1/M bound. Lock-free read.
+  uint64_t overflowAllocations() const {
+    return OverflowCount.load(std::memory_order_relaxed);
+  }
+
+  /// Fill level of class \p Class on shard \p ShardIndex relative to its
+  /// 1/M threshold, in [0, 1]. Lock-free gauge (see
+  /// RandomizedPartition::fill).
+  double partitionFill(size_t ShardIndex, int Class) const {
+    return shard(ShardIndex).partition(Class).fill();
+  }
 
   /// Bytes currently live across all shards and large objects.
   size_t bytesLive() const;
@@ -160,13 +218,24 @@ public:
   static size_t defaultShardCount();
 
 private:
-  /// A DieHardHeap plus its lock, padded onto its own cache lines so shard
-  /// locks do not false-share.
-  struct alignas(64) Shard {
+  /// A mutex alone on its cache lines so partition locks never false-share
+  /// with each other or with the heap they guard.
+  struct alignas(64) PaddedMutex {
+    mutable std::mutex M;
+  };
+
+  /// A DieHardHeap plus one lock per size-class partition.
+  struct Shard {
     explicit Shard(const DieHardOptions &HeapOpts) : Heap(HeapOpts) {}
-    mutable std::mutex Lock;
+    PaddedMutex Locks[DieHardHeap::NumPartitions];
     DieHardHeap Heap;
   };
+
+  /// The lock guarding partition \p Class of \p S. With PartitionLocking
+  /// off, every class maps to lock 0 (one coarse lock per shard).
+  std::mutex &partitionLock(const Shard &S, int Class) const {
+    return S.Locks[Opts.PartitionLocking ? Class : 0].M;
+  }
 
   /// Returns the calling thread's home shard index (assigning a token on
   /// first use).
@@ -181,6 +250,14 @@ private:
   /// getObjectSize / deallocate against an already-resolved owner.
   size_t sizeOfOwned(const void *Ptr, uint32_t Owner) const;
   void deallocateOwned(void *Ptr, uint32_t Owner);
+
+  /// Locks class \p Class of shard \p Index and allocates \p Size bytes.
+  void *allocateSmallIn(uint32_t Index, int Class, size_t Size);
+
+  /// The overflow slow path: \p Home's class-\p Class partition refused the
+  /// allocation; probe up to MaxOverflowProbes sibling shards in ascending
+  /// fill order. \returns nullptr if every probed sibling is saturated too.
+  void *allocateOverflow(uint32_t Home, int Class, size_t Size);
 
   /// Large-object path (caller verified Size > SizeClass::MaxObjectSize).
   void *allocateLarge(size_t Size);
@@ -211,6 +288,16 @@ private:
   Rng LargeRand;                ///< Fills large objects in replica mode.
   DieHardStats LargeStats;      ///< Large-path counters (under LargeLock).
   size_t LargeLiveBytes = 0;
+
+  /// Allocations served by a sibling shard (home partition saturated).
+  std::atomic<uint64_t> OverflowCount{0};
+
+  /// Small allocations that failed outright with routing on (home and
+  /// every viable sibling saturated). Saturated partitions are skipped by
+  /// gauge on this path, so their FailedAllocations counters stay
+  /// meaningful ("refusals the caller saw"), and the whole-request
+  /// failure is recorded here instead.
+  std::atomic<uint64_t> OverflowFailedCount{0};
 
   /// Frees of pointers no shard or large object owns (e.g. pre-shim
   /// allocations of the dynamic loader). Atomic so the foreign-free path

@@ -28,6 +28,7 @@ HeapSnapshot HeapSnapshot::capture(const DieHardHeap &Heap) {
     Image.Bytes.resize(Size);
     std::memcpy(Image.Bytes.data(), Ptr, Size);
     Snap.Objects.emplace(std::make_pair(Class, Slot), std::move(Image));
+    ++Snap.ClassCounts[static_cast<size_t>(Class)];
   });
   return Snap;
 }

@@ -22,6 +22,9 @@
 #ifndef DIEHARD_DEBUG_HEAPDIFF_H
 #define DIEHARD_DEBUG_HEAPDIFF_H
 
+#include "core/SizeClass.h"
+
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -35,11 +38,21 @@ class DieHardHeap;
 /// A point-in-time copy of every live object in a heap.
 class HeapSnapshot {
 public:
-  /// Captures all live small objects of \p Heap (contents copied).
+  /// Captures all live small objects of \p Heap (contents copied). The walk
+  /// follows the heap's partition decomposition — class-major, slot
+  /// ascending — so same-seed executions produce snapshots whose keys line
+  /// up pairwise.
   static HeapSnapshot capture(const DieHardHeap &Heap);
 
   /// Number of live objects captured.
   size_t objectCount() const { return Objects.size(); }
+
+  /// Live objects captured in size class \p Class (one partition's worth).
+  /// Diffing these per-partition tallies first cheaply localizes which
+  /// regions diverged before the byte-level walk.
+  size_t objectsInClass(int Class) const {
+    return ClassCounts[static_cast<size_t>(Class)];
+  }
 
   /// The seed of the heap this snapshot came from (diffs require equal
   /// seeds to be meaningful).
@@ -58,6 +71,7 @@ private:
   /// Keyed by (class, slot): identical seeds make keys comparable across
   /// executions.
   std::map<std::pair<int, size_t>, ObjectImage> Objects;
+  std::array<size_t, SizeClass::NumClasses> ClassCounts = {};
   uint64_t Seed = 0;
 };
 

@@ -22,13 +22,20 @@
 ///                       replica's allocation sequence stays deterministic
 ///                       per seed regardless of thread scheduling.
 ///   DIEHARD_REPLICATED  "1" enables random object fill (replica mode)
+///   DIEHARD_OVERFLOW    "0" disables overflow routing (default on): with
+///                       routing, a thread whose home shard's size-class
+///                       partition is at its 1/M bound borrows capacity
+///                       from the least-loaded sibling shard instead of
+///                       failing the allocation
 ///
 /// Locking: there is no global malloc lock. After initialization every
 /// entry point goes straight into ShardedHeap, which locks only the
-/// calling thread's home shard (or the owner of the freed pointer, or the
-/// dedicated large-object lock). The one remaining global mutex is a narrow
-/// constructor guard that serializes first-time heap construction and is
-/// never touched again once the heap pointer is published.
+/// *partition* (one size class of one shard) a request touches — the
+/// calling thread's home shard for allocation, the owner of the freed
+/// pointer for frees — or the dedicated large-object lock. The one
+/// remaining global mutex is a narrow constructor guard that serializes
+/// first-time heap construction and is never touched again once the heap
+/// pointer is published.
 ///
 /// Re-entrancy: constructing the heap allocates metadata (bitmaps and the
 /// shard address registry), which re-enters malloc on the same thread. The
@@ -115,6 +122,13 @@ double envDouble(const char *Name, double Default) {
   return End != V && Parsed > 1.0 ? Parsed : Default;
 }
 
+bool envFlag(const char *Name, bool Default) {
+  const char *V = std::getenv(Name);
+  if (V == nullptr || *V == '\0')
+    return Default;
+  return V[0] != '0';
+}
+
 /// Resolves the shard count: DIEHARD_SHARDS wins; otherwise replicas get a
 /// single deterministic shard and stand-alone processes one shard per CPU
 /// (0 lets ShardedHeap ask the OS).
@@ -141,6 +155,7 @@ ShardedHeap *constructHeap() {
     Options.Heap.RandomFillOnFree = true;
   }
   Options.NumShards = envShards(IsReplica);
+  Options.OverflowRouting = envFlag("DIEHARD_OVERFLOW", true);
   ShardedHeap *H = new (HeapStorage) ShardedHeap(Options);
   ConstructingHeap = false;
   TheHeap.store(H, std::memory_order_release);

@@ -27,6 +27,29 @@ namespace diehard {
 /// state is four 32-bit words; the period is about 2^60.
 class Rng {
 public:
+  /// Stream-derivation gamma for the *shard* axis: shard i of a sharded heap
+  /// seeds its generator with deriveStream(Seed, i, ShardStreamGamma), so
+  /// stream 0 is the base seed verbatim (single-shard configurations stay
+  /// bit-identical to an unsharded heap).
+  static constexpr uint64_t ShardStreamGamma = 0x9E3779B97F4A7C15ULL;
+
+  /// Stream-derivation gamma for the *size-class* axis. Deliberately a
+  /// different odd constant than the shard gamma so that partition c of
+  /// shard s never lands on the same stream as partition c' of shard s'
+  /// (equal streams would require a multiple of one gamma to equal a
+  /// multiple of the other modulo 2^64).
+  static constexpr uint64_t ClassStreamGamma = 0xC2B2AE3D27D4EB4FULL;
+
+  /// Derives the seed for decorrelated stream \p Stream of a generator
+  /// family rooted at \p Seed. The per-axis \p Gamma keeps orthogonal
+  /// families (shards vs. size-class partitions) off each other's streams;
+  /// setSeed()'s SplitMix finalizer then turns the arithmetic progression
+  /// into unrelated state. Stream 0 returns \p Seed unchanged.
+  static constexpr uint64_t deriveStream(uint64_t Seed, uint64_t Stream,
+                                         uint64_t Gamma = ShardStreamGamma) {
+    return Seed + Stream * Gamma;
+  }
+
   /// Constructs a generator seeded with \p Seed. A zero seed is remapped to a
   /// fixed non-zero constant because an all-zero MWC state is a fixed point.
   explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ULL) { setSeed(Seed); }

@@ -1,0 +1,234 @@
+//===- tests/core/RandomizedPartitionTest.cpp -----------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct tests for the per-size-class RandomizedPartition: geometry and
+/// threshold installation, the probe/fallback discipline, free validation,
+/// lock-free gauges, stream derivation, and the deterministic live-object
+/// walk the heap-differencing debugger depends on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/RandomizedPartition.h"
+
+#include "core/DieHardHeap.h"
+#include "support/MmapRegion.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+namespace diehard {
+namespace {
+
+/// A partition over its own private mapping, for driving the class without
+/// a surrounding heap.
+struct PartitionFixture {
+  MmapRegion Region;
+  RandomizedPartition Partition;
+
+  PartitionFixture(size_t ObjectSize, size_t Slots, double M = 2.0,
+                   uint64_t Seed = 42, bool FillOnAllocate = false,
+                   bool FillOnFree = false) {
+    EXPECT_TRUE(Region.map(ObjectSize * Slots));
+    EXPECT_TRUE(Partition.init(Region.base(), ObjectSize, Slots, M, Seed,
+                               FillOnAllocate, FillOnFree));
+  }
+};
+
+TEST(RandomizedPartitionTest, InstallsGeometryAndThreshold) {
+  PartitionFixture F(64, 1024, 2.0, 7);
+  EXPECT_EQ(F.Partition.objectBytes(), 64u);
+  EXPECT_EQ(F.Partition.slots(), 1024u);
+  EXPECT_EQ(F.Partition.threshold(), 512u) << "1/M of the slots with M=2";
+  EXPECT_EQ(F.Partition.live(), 0u);
+  EXPECT_EQ(F.Partition.liveBytes(), 0u);
+  EXPECT_EQ(F.Partition.streamSeed(), 7u);
+  EXPECT_EQ(F.Partition.base(), F.Region.base());
+}
+
+TEST(RandomizedPartitionTest, AllocatesDistinctSlotsUpToThreshold) {
+  PartitionFixture F(128, 256);
+  std::set<void *> Seen;
+  for (size_t I = 0; I < F.Partition.threshold(); ++I) {
+    void *P = F.Partition.allocate();
+    ASSERT_NE(P, nullptr) << "allocation " << I;
+    EXPECT_TRUE(F.Partition.contains(P));
+    EXPECT_TRUE(Seen.insert(P).second) << "slot handed out twice";
+  }
+  // At the 1/M bound: refused, and counted as a failure.
+  EXPECT_EQ(F.Partition.allocate(), nullptr);
+  EXPECT_GE(F.Partition.stats().FailedAllocations, 1u);
+  EXPECT_EQ(F.Partition.live(), F.Partition.threshold());
+  EXPECT_EQ(F.Partition.fill(), 1.0);
+}
+
+TEST(RandomizedPartitionTest, DeallocateValidatesOffsetAndLiveness) {
+  PartitionFixture F(64, 128);
+  auto *P = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(P, nullptr);
+  // Misaligned interior pointer: ignored.
+  EXPECT_FALSE(F.Partition.deallocate(P + 8));
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 1u);
+  EXPECT_EQ(F.Partition.objectSize(P), 64u) << "object must still be live";
+  // Correct free succeeds once.
+  EXPECT_TRUE(F.Partition.deallocate(P));
+  EXPECT_EQ(F.Partition.live(), 0u);
+  // Double free: ignored.
+  EXPECT_FALSE(F.Partition.deallocate(P));
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 2u);
+  EXPECT_EQ(F.Partition.stats().Frees, 1u);
+}
+
+TEST(RandomizedPartitionTest, LiveBytesTrackRoundedSizes) {
+  PartitionFixture F(256, 64);
+  void *A = F.Partition.allocate();
+  void *B = F.Partition.allocate();
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(F.Partition.liveBytes(), 512u);
+  F.Partition.deallocate(A);
+  EXPECT_EQ(F.Partition.liveBytes(), 256u);
+  F.Partition.deallocate(B);
+  EXPECT_EQ(F.Partition.liveBytes(), 0u);
+}
+
+TEST(RandomizedPartitionTest, ObjectQueriesHandleInteriorPointers) {
+  PartitionFixture F(512, 64);
+  auto *P = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(F.Partition.objectStart(P), P);
+  EXPECT_EQ(F.Partition.objectStart(P + 511), P);
+  EXPECT_EQ(F.Partition.objectSize(P + 100), 512u);
+  F.Partition.deallocate(P);
+  EXPECT_EQ(F.Partition.objectStart(P), nullptr);
+  EXPECT_EQ(F.Partition.objectSize(P), 0u);
+}
+
+TEST(RandomizedPartitionTest, ClaimRandomSlotFallsBackWhenCrowded) {
+  // Fill the bitmap to all-but-one slot; 64 random probes into a 1/256
+  // chance miss almost surely, forcing the linear fallback — which must
+  // still find the lone free slot.
+  Bitmap Bits(256);
+  for (size_t I = 0; I < 256; ++I)
+    if (I != 137)
+      Bits.trySet(I);
+  Rng Rand(99);
+  uint64_t Probes = 0, Fallbacks = 0;
+  size_t Index = claimRandomSlot(Bits, Rand, 256, Probes, Fallbacks);
+  EXPECT_EQ(Index, 137u);
+  EXPECT_GE(Probes, 1u);
+  // A full bitmap reports exhaustion instead of spinning.
+  uint64_t P2 = 0, F2 = 0;
+  EXPECT_EQ(claimRandomSlot(Bits, Rand, 256, P2, F2), 256u);
+}
+
+TEST(RandomizedPartitionTest, DistinctSeedsGiveDistinctPlacement) {
+  PartitionFixture A(64, 4096, 2.0, 1);
+  PartitionFixture B(64, 4096, 2.0, 2);
+  int SameSlot = 0;
+  for (int I = 0; I < 64; ++I) {
+    auto *PA = static_cast<char *>(A.Partition.allocate());
+    auto *PB = static_cast<char *>(B.Partition.allocate());
+    ASSERT_NE(PA, nullptr);
+    ASSERT_NE(PB, nullptr);
+    SameSlot +=
+        (PA - static_cast<char *>(A.Region.base())) ==
+                (PB - static_cast<char *>(B.Region.base()))
+            ? 1
+            : 0;
+  }
+  EXPECT_LT(SameSlot, 8) << "different streams must place differently";
+}
+
+TEST(RandomizedPartitionTest, SameSeedReproducesPlacement) {
+  PartitionFixture A(64, 4096, 2.0, 5);
+  PartitionFixture B(64, 4096, 2.0, 5);
+  for (int I = 0; I < 256; ++I) {
+    auto *PA = static_cast<char *>(A.Partition.allocate());
+    auto *PB = static_cast<char *>(B.Partition.allocate());
+    ASSERT_EQ(PA - static_cast<char *>(A.Region.base()),
+              PB - static_cast<char *>(B.Region.base()))
+        << "allocation " << I;
+  }
+}
+
+TEST(RandomizedPartitionTest, ForEachLiveVisitsSlotsAscending) {
+  PartitionFixture F(64, 512);
+  std::vector<void *> Held;
+  for (int I = 0; I < 40; ++I)
+    Held.push_back(F.Partition.allocate());
+  size_t Count = 0;
+  size_t LastSlot = 0;
+  bool First = true;
+  F.Partition.forEachLive([&](size_t Slot, const void *Ptr) {
+    if (!First) {
+      EXPECT_GT(Slot, LastSlot) << "walk must be slot-ascending";
+    }
+    First = false;
+    LastSlot = Slot;
+    EXPECT_TRUE(F.Partition.contains(Ptr));
+    ++Count;
+  });
+  EXPECT_EQ(Count, 40u);
+  for (void *P : Held)
+    F.Partition.deallocate(P);
+}
+
+TEST(RandomizedPartitionTest, RandomFillOnAllocateAndFree) {
+  PartitionFixture F(256, 64, 2.0, 11, /*FillOnAllocate=*/true,
+                     /*FillOnFree=*/true);
+  auto *P = static_cast<uint32_t *>(F.Partition.allocate());
+  ASSERT_NE(P, nullptr);
+  int NonZero = 0;
+  for (int I = 0; I < 64; ++I)
+    NonZero += P[I] != 0 ? 1 : 0;
+  EXPECT_GT(NonZero, 50) << "replicated mode fills fresh objects";
+  uint32_t BeforeFree[64];
+  std::memcpy(BeforeFree, P, sizeof(BeforeFree));
+  F.Partition.deallocate(P);
+  EXPECT_NE(std::memcmp(BeforeFree, P, sizeof(BeforeFree)), 0)
+      << "free must scramble the slot in replicated mode";
+}
+
+TEST(RandomizedPartitionTest, HeapPartitionStreamsAreDecorrelated) {
+  // The heap derives one stream per class from its seed; no two partitions
+  // (and no partition and the heap-level stream) may share a seed.
+  DieHardOptions O;
+  O.HeapSize = 48 * 1024 * 1024;
+  O.Seed = 42;
+  DieHardHeap H(O);
+  ASSERT_TRUE(H.isValid());
+  std::set<uint64_t> Streams;
+  Streams.insert(H.seed());
+  for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+    Streams.insert(H.partition(C).streamSeed());
+  EXPECT_EQ(Streams.size(),
+            static_cast<size_t>(DieHardHeap::NumPartitions) + 1);
+}
+
+TEST(RandomizedPartitionTest, HeapExposesPartitionGauges) {
+  DieHardOptions O;
+  O.HeapSize = 48 * 1024 * 1024;
+  O.Seed = 43;
+  DieHardHeap H(O);
+  int C = SizeClass::sizeToClass(1024);
+  void *P = H.allocate(1024);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(H.partition(C).live(), 1u);
+  EXPECT_EQ(H.partition(C).liveBytes(), 1024u);
+  EXPECT_GT(H.partition(C).fill(), 0.0);
+  EXPECT_EQ(H.partitionIndexOf(P), C);
+  int Stack;
+  EXPECT_EQ(H.partitionIndexOf(&Stack), -1);
+  H.deallocate(P);
+  EXPECT_EQ(H.partition(C).fill(), 0.0);
+}
+
+} // namespace
+} // namespace diehard

@@ -121,6 +121,56 @@ TEST(HeapDiffTest, ExtraAllocationIsReported) {
   EXPECT_EQ(Diff[0].Kind, HeapDiffKind::OnlyInSuspect);
 }
 
+TEST(HeapDiffTest, LiveWalkIsClassMajorSlotAscending) {
+  // The snapshot keys on (class, slot), so the heap's live-object walk must
+  // stay deterministic across the partition decomposition: class-major,
+  // slot ascending, bit-identical between two walks of the same heap.
+  DieHardHeap Heap(debugOptions(0xABCD));
+  std::vector<void *> Held;
+  for (int I = 0; I < 200; ++I)
+    Held.push_back(Heap.allocate(1 + (I * 97) % 8000));
+
+  std::vector<std::pair<int, size_t>> FirstWalk;
+  Heap.forEachLiveObject([&](int Class, size_t Slot, const void *, size_t) {
+    if (!FirstWalk.empty()) {
+      EXPECT_LT(FirstWalk.back(), std::make_pair(Class, Slot))
+          << "walk must be strictly (class, slot)-ascending";
+    }
+    FirstWalk.emplace_back(Class, Slot);
+  });
+  EXPECT_EQ(FirstWalk.size(), 200u);
+
+  std::vector<std::pair<int, size_t>> SecondWalk;
+  Heap.forEachLiveObject([&](int Class, size_t Slot, const void *, size_t) {
+    SecondWalk.emplace_back(Class, Slot);
+  });
+  EXPECT_EQ(FirstWalk, SecondWalk) << "iteration order must be stable";
+
+  for (void *P : Held)
+    Heap.deallocate(P);
+}
+
+TEST(HeapDiffTest, SnapshotCountsObjectsPerPartition) {
+  DieHardHeap Heap(debugOptions(0xBEEF));
+  // 30 objects in the 64-byte class, 12 in the 1 KB class.
+  std::vector<void *> Held;
+  for (int I = 0; I < 30; ++I)
+    Held.push_back(Heap.allocate(64));
+  for (int I = 0; I < 12; ++I)
+    Held.push_back(Heap.allocate(1024));
+
+  HeapSnapshot Snap = HeapSnapshot::capture(Heap);
+  EXPECT_EQ(Snap.objectCount(), 42u);
+  size_t Sum = 0;
+  for (int C = 0; C < SizeClass::NumClasses; ++C) {
+    EXPECT_EQ(Snap.objectsInClass(C), Heap.liveInClass(C)) << "class " << C;
+    Sum += Snap.objectsInClass(C);
+  }
+  EXPECT_EQ(Sum, Snap.objectCount());
+  for (void *P : Held)
+    Heap.deallocate(P);
+}
+
 TEST(HeapDiffTest, FormatterMentionsEveryEntry) {
   DieHardHeap Reference(debugOptions()), Suspect(debugOptions());
   auto RefObjs = runScript(Reference);

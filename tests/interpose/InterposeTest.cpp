@@ -157,6 +157,21 @@ TEST(InterposeTest, ShardedStressUnderReplicatedFill) {
   EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
 }
 
+TEST(InterposeTest, OverflowRoutingTogglesViaEnvironment) {
+  // DIEHARD_OVERFLOW only changes behaviour at partition saturation, which
+  // a healthy victim never reaches — both settings must run the full
+  // cross-thread stress cleanly (the saturation semantics themselves are
+  // unit-tested at the ShardedHeap layer).
+  RunResult On = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                              "DIEHARD_SHARDS=4 DIEHARD_OVERFLOW=1");
+  EXPECT_EQ(On.ExitCode, 0);
+  EXPECT_EQ(On.Output, "MT-SHARD-OK\n");
+  RunResult Off = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                               "DIEHARD_SHARDS=4 DIEHARD_OVERFLOW=0");
+  EXPECT_EQ(Off.ExitCode, 0);
+  EXPECT_EQ(Off.Output, "MT-SHARD-OK\n");
+}
+
 TEST(InterposeTest, CppBinaryWithNewDelete) {
   // ls uses C++-free paths but covers opendir/qsort allocation patterns;
   // this at least exercises a real multi-library binary end to end.
