@@ -24,6 +24,13 @@
 ///    fine-grained locking should approach linear scaling where the
 ///    coarse lock serializes everything.
 ///
+/// 3. *Thread cache* — the sharded configuration with the per-thread
+///    cache tier off versus on (DIEHARD_TCACHE semantics, K=32). With the
+///    cache, the steady-state malloc/free is a TLS pop/push and partition
+///    locks are only touched once per K-slot batch, so this measures the
+///    lock-free fast path's win over per-operation locking — visible even
+///    single-threaded (fewer lock round-trips), growing with contention.
+///
 /// Usage: bench_mt_scaling [ops-per-thread] [shards]
 /// (defaults: 400000 ops, one shard per CPU)
 ///
@@ -91,7 +98,8 @@ void churnWorker(ShardedHeap &Heap, uint64_t Seed, long Ops, int ClassIndex,
 struct RunConfig {
   size_t Shards;
   bool PartitionLocks;
-  bool PerThreadClasses; ///< Thread t churns size class t % NumClasses.
+  bool PerThreadClasses;     ///< Thread t churns size class t % NumClasses.
+  size_t ThreadCacheSlots = 0; ///< K for the thread-cache tier (0 = off).
 };
 
 /// Runs `Threads` workers against a fresh heap per `Config` and returns
@@ -102,6 +110,7 @@ double measure(const RunConfig &Config, int Threads, long OpsPerThread) {
   Options.Heap.Seed = 0x5EED + 17 * static_cast<uint64_t>(Threads);
   Options.NumShards = Config.Shards;
   Options.PartitionLocking = Config.PartitionLocks;
+  Options.ThreadCacheSlots = Config.ThreadCacheSlots;
   ShardedHeap Heap(Options);
   if (!Heap.isValid()) {
     std::fprintf(stderr, "heap reservation failed\n");
@@ -217,6 +226,33 @@ int main(int argc, char **argv) {
   diehard::bench::printRule();
   std::printf("partition locks vs coarse lock at 8 threads: %.2fx\n",
               PartitionedAt8 / CoarseAt8);
+
+  // Scenario 3: the thread-cache tier off vs on (K=32) over the sharded
+  // configuration — the lock-free fast path's win over per-op locking.
+  std::printf("\nthread cache (%zu shards, random sizes, K=32)\n", Cpus);
+  diehard::bench::printRule();
+  std::printf("%8s  %14s  %13s  %8s\n", "threads", "cache-off ops/s",
+              "cache-on ops/s", "ratio");
+  diehard::bench::printRule();
+
+  const RunConfig CacheOff{Cpus, true, false, 0};
+  const RunConfig CacheOn{Cpus, true, false, 32};
+  double OffAt8 = 0, OnAt8 = 0;
+  for (int Threads : ThreadCounts) {
+    double Off = measure(CacheOff, Threads, OpsPerThread);
+    double On = measure(CacheOn, Threads, OpsPerThread);
+    recordJson("tcache", "cache_off", Threads, Off);
+    recordJson("tcache", "cache_on", Threads, On);
+    std::printf("%8d  %14.0f  %13.0f  %7.2fx\n", Threads, Off, On,
+                On / Off);
+    if (Threads == 8) {
+      OffAt8 = Off;
+      OnAt8 = On;
+    }
+  }
+  diehard::bench::printRule();
+  std::printf("thread cache on vs off at 8 threads: %.2fx\n",
+              OnAt8 / OffAt8);
 
   // Machine-readable trailer for the perf trajectory.
   std::printf("\nJSON: {\"bench\":\"mt_scaling\",\"ops_per_thread\":%ld,"

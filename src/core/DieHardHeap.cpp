@@ -92,6 +92,24 @@ void *DieHardHeap::allocate(size_t Size) {
   return Partitions[SizeClass::sizeToClass(Size)].allocate();
 }
 
+size_t DieHardHeap::claimCachedSlots(int Class, void **Out,
+                                     size_t MaxCount) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  return Partitions[Class].claimRandomSlots(Out, MaxCount);
+}
+
+void DieHardHeap::reclaimCachedSlots(int Class, void *const *Ptrs,
+                                     size_t Count) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  Partitions[Class].reclaimSlots(Ptrs, Count);
+}
+
+size_t DieHardHeap::deallocateBatch(int Class, void *const *Ptrs,
+                                    size_t Count) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  return Partitions[Class].deallocateBatch(Ptrs, Count);
+}
+
 int DieHardHeap::partitionIndexOf(const void *Ptr) const {
   if (!Heap.contains(Ptr))
     return -1;

@@ -91,6 +91,11 @@ struct DieHardStats {
   uint64_t OverflowAllocations = 0; ///< Allocations served by a sibling
                                     ///< shard (sharded layer only; always 0
                                     ///< for a lone DieHardHeap).
+
+  // Thread-cache tier (sharded layer only; always 0 for a lone heap).
+  uint64_t CachedSlots = 0;   ///< Slots currently claimed into caches.
+  uint64_t CacheRefills = 0;  ///< Batch refills taken from partitions.
+  uint64_t CacheFlushes = 0;  ///< Deferred-free / full cache flushes.
 };
 
 /// The randomized DieHard memory manager.
@@ -168,6 +173,20 @@ public:
   /// query concurrent layers use to pick the partition lock before calling
   /// deallocate()/getObjectSize(); it reads only construction-time state.
   int partitionIndexOf(const void *Ptr) const;
+
+  /// Thread-cache batch claim: up to \p MaxCount uniformly chosen slots of
+  /// size class \p Class, written to \p Out in shuffled order and counted
+  /// as live (see RandomizedPartition::claimRandomSlots). Callers hold the
+  /// class's partition lock in concurrent configurations.
+  size_t claimCachedSlots(int Class, void **Out, size_t MaxCount);
+
+  /// Returns never-handed-out cached slots of class \p Class to their
+  /// partition (see RandomizedPartition::reclaimSlots). Same locking rule.
+  void reclaimCachedSlots(int Class, void *const *Ptrs, size_t Count);
+
+  /// Validated batch free of \p Count pointers, all inside class \p Class's
+  /// partition, under one lock acquisition. \returns the number freed.
+  size_t deallocateBatch(int Class, void *const *Ptrs, size_t Count);
 
   /// Read-only access to partition \p Class: per-partition stats, fill
   /// gauges, and the live-object walk. The lock-free gauges (live(),

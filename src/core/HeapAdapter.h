@@ -39,8 +39,9 @@ private:
 
 /// Allocator facade over a ShardedHeap, which must outlive the adapter.
 /// Unlike HeapAdapter this facade is thread-safe end to end (the sharded
-/// layer locks per partition), so one adapter instance can serve a
-/// multithreaded workload.
+/// layer locks per partition; with the thread-cache tier on, the steady
+/// state is lock-free), so one adapter instance can serve a multithreaded
+/// workload.
 class ShardedHeapAdapter final : public Allocator {
 public:
   /// Wraps \p Target; \p AdapterName is returned by getName().
@@ -51,6 +52,18 @@ public:
   void *allocate(size_t Size) override { return H.allocate(Size); }
   void deallocate(void *Ptr) override { H.deallocate(Ptr); }
   const char *getName() const override { return Name; }
+
+  /// Cache-aware counters (CachedSlots/CacheRefills/CacheFlushes included)
+  /// for workload harnesses that report allocator behaviour. Exact but
+  /// lock-taking; see ShardedHeap::statsApprox() for the lock-free view.
+  DieHardStats stats() const { return H.stats(); }
+
+  /// Slots currently parked in thread caches (0 with the tier off).
+  size_t cachedSlots() const { return H.cachedSlots(); }
+
+  /// Flushes the calling thread's cache, so a workload's teardown can
+  /// assert exact liveness (bytesLive() == 0) deterministically.
+  void flushThreadCache() { H.flushThreadCache(); }
 
 private:
   ShardedHeap &H;

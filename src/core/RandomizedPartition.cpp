@@ -74,8 +74,11 @@ void *RandomizedPartition::allocate() {
     ++Stats.FailedAllocations;
     return nullptr;
   }
-  size_t Index = claimRandomSlot(IsAllocated, Rand, Slots, Stats.Probes,
-                                 Stats.ProbeFallbacks);
+  uint64_t Probes = 0, Fallbacks = 0;
+  size_t Index =
+      claimRandomSlot(IsAllocated, Rand, Slots, Probes, Fallbacks);
+  Stats.Probes += Probes;
+  Stats.ProbeFallbacks += Fallbacks;
   if (Index == Slots) {
     ++Stats.FailedAllocations;
     return nullptr;
@@ -87,6 +90,70 @@ void *RandomizedPartition::allocate() {
   if (FillOnAllocate)
     randomFill(Ptr, ObjectSize);
   return Ptr;
+}
+
+size_t RandomizedPartition::claimRandomSlots(void **Out, size_t MaxCount) {
+  size_t Live = InUse.load(std::memory_order_relaxed);
+  if (Live >= Threshold)
+    return 0; // Saturated: no refusal counted, the caller owns that call.
+  size_t Want = Threshold - Live;
+  if (Want > MaxCount)
+    Want = MaxCount;
+
+  // Each claim runs the exact allocate() probe discipline, so the i-th
+  // claimed slot is uniform over the slots free after the first i-1 claims
+  // — the same process as i consecutive allocate() calls.
+  uint64_t Probes = 0, Fallbacks = 0;
+  size_t N = 0;
+  while (N < Want) {
+    size_t Index = claimRandomSlot(IsAllocated, Rand, Slots, Probes,
+                                   Fallbacks);
+    if (Index == Slots)
+      break; // Unreachable below the threshold; stay defensive.
+    Out[N++] = Base + Index * ObjectSize;
+  }
+  Stats.Probes += Probes;
+  Stats.ProbeFallbacks += Fallbacks;
+  Stats.ClaimedSlots += N;
+  InUse.fetch_add(N, std::memory_order_relaxed);
+  LiveBytes.fetch_add(N * ObjectSize, std::memory_order_relaxed);
+
+  // Shuffle so the order a cache hands slots out is independent of the
+  // order they were claimed (Fisher-Yates from this partition's stream).
+  for (size_t I = N; I > 1; --I) {
+    size_t J = Rand.nextBounded(static_cast<uint32_t>(I));
+    void *Tmp = Out[I - 1];
+    Out[I - 1] = Out[J];
+    Out[J] = Tmp;
+  }
+  if (FillOnAllocate)
+    for (size_t I = 0; I < N; ++I)
+      randomFill(Out[I], ObjectSize);
+  return N;
+}
+
+void RandomizedPartition::reclaimSlots(void *const *Ptrs, size_t Count) {
+  for (size_t I = 0; I < Count; ++I) {
+    assert(contains(Ptrs[I]) && "reclaimed slot must be in this partition");
+    size_t Offset =
+        static_cast<size_t>(static_cast<char *>(Ptrs[I]) - Base);
+    assert(Offset % ObjectSize == 0 && "reclaimed slot must be aligned");
+    bool WasSet = IsAllocated.tryClear(Offset / ObjectSize);
+    assert(WasSet && "reclaimed slot must still be claimed");
+    (void)WasSet;
+  }
+  Stats.ReturnedSlots += Count;
+  InUse.fetch_sub(Count, std::memory_order_relaxed);
+  LiveBytes.fetch_sub(Count * ObjectSize, std::memory_order_relaxed);
+}
+
+size_t RandomizedPartition::deallocateBatch(void *const *Ptrs,
+                                            size_t Count) {
+  size_t Freed = 0;
+  for (size_t I = 0; I < Count; ++I)
+    if (deallocate(Ptrs[I]))
+      ++Freed;
+  return Freed;
 }
 
 bool RandomizedPartition::deallocate(void *Ptr) {

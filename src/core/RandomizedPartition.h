@@ -41,15 +41,55 @@
 
 namespace diehard {
 
+/// A counter mutated only under an external lock (the partition lock in
+/// concurrent configurations) but readable by anyone without it. The store
+/// and load are relaxed atomics — on mainstream hardware a plain move — so
+/// the mutation stays as cheap as a non-atomic increment while unlocked
+/// readers (statsApprox(), the shim's stats dump) stay race-free. NOT an
+/// atomic counter: concurrent unsynchronized writers would lose updates,
+/// which is exactly why writes require the owner's lock.
+class RelaxedCounter {
+public:
+  RelaxedCounter() = default;
+  RelaxedCounter(const RelaxedCounter &) = delete;
+  RelaxedCounter &operator=(const RelaxedCounter &) = delete;
+
+  RelaxedCounter &operator++() {
+    add(1);
+    return *this;
+  }
+  RelaxedCounter &operator+=(uint64_t N) {
+    add(N);
+    return *this;
+  }
+  RelaxedCounter &operator-=(uint64_t N) {
+    Value.store(Value.load(std::memory_order_relaxed) - N,
+                std::memory_order_relaxed);
+    return *this;
+  }
+  /// Lock-free read.
+  operator uint64_t() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  void add(uint64_t N) {
+    Value.store(Value.load(std::memory_order_relaxed) + N,
+                std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t> Value{0};
+};
+
 /// Behaviour counters of a single partition. Mutated only by the partition's
-/// owner (under the partition lock in concurrent configurations).
+/// owner (under the partition lock in concurrent configurations); each field
+/// is a RelaxedCounter so lock-free snapshots may read them concurrently.
 struct PartitionStats {
-  uint64_t Allocations = 0;       ///< Successful allocations.
-  uint64_t Frees = 0;             ///< Successful frees.
-  uint64_t FailedAllocations = 0; ///< Requests refused (1/M bound reached).
-  uint64_t IgnoredFrees = 0;      ///< Invalid/double frees ignored.
-  uint64_t Probes = 0;            ///< Bitmap probes across all allocations.
-  uint64_t ProbeFallbacks = 0;    ///< Times the linear fallback scan ran.
+  RelaxedCounter Allocations;       ///< Successful allocations.
+  RelaxedCounter Frees;             ///< Successful frees.
+  RelaxedCounter FailedAllocations; ///< Requests refused (1/M bound reached).
+  RelaxedCounter IgnoredFrees;      ///< Invalid/double frees ignored.
+  RelaxedCounter Probes;            ///< Bitmap probes across all allocations.
+  RelaxedCounter ProbeFallbacks;    ///< Times the linear fallback scan ran.
+  RelaxedCounter ClaimedSlots;      ///< Slots handed to thread caches.
+  RelaxedCounter ReturnedSlots;     ///< Unused cached slots handed back.
 };
 
 /// Claims a free slot in \p Bits: up to 64 uniform random probes, then a
@@ -88,10 +128,33 @@ public:
   /// when the partition is at its 1/M threshold.
   void *allocate();
 
+  /// Batch claim for the thread-cache tier: claims up to \p MaxCount slots,
+  /// each chosen by the same uniform probe discipline as allocate() (so a
+  /// refill draws from exactly the distribution a sequence of allocate()
+  /// calls would), and writes their object pointers to \p Out in shuffled
+  /// order. Claimed slots are counted as live immediately — they occupy
+  /// bitmap bits and the InUse gauge, so the 1/M bound holds with slots
+  /// sitting in caches — but are NOT counted as Allocations (the cache
+  /// layer counts the user-visible pop). \returns the number of slots
+  /// claimed: fewer than \p MaxCount when the 1/M threshold is near, 0 when
+  /// the partition is saturated (without counting a FailedAllocation — the
+  /// caller decides whether the request as a whole failed).
+  size_t claimRandomSlots(void **Out, size_t MaxCount);
+
+  /// Returns \p Count slots previously obtained from claimRandomSlots() and
+  /// never handed to a user: clears their bits and live accounting without
+  /// touching the Allocations/Frees counters or the free-fill behaviour.
+  void reclaimSlots(void *const *Ptrs, size_t Count);
+
   /// Validated free. The pointer must lie inside this partition's region;
   /// wrong slot offsets, double frees and dead slots are counted and
   /// ignored. \returns true if an object was actually freed.
   bool deallocate(void *Ptr);
+
+  /// Validated batch free under one lock acquisition: deallocate() for each
+  /// of the \p Count pointers (all of which must lie in this partition's
+  /// region). \returns the number of objects actually freed.
+  size_t deallocateBatch(void *const *Ptrs, size_t Count);
 
   /// Usable (rounded) size of the live object containing \p Ptr — interior
   /// pointers allowed — or 0 if the slot is not live.
@@ -148,8 +211,11 @@ public:
   /// The seed of this partition's RNG stream.
   uint64_t streamSeed() const { return StreamSeed; }
 
-  /// Behaviour counters. Read under the partition lock in concurrent
-  /// configurations; the fields are plain (non-atomic) integers.
+  /// Behaviour counters. Mutated only under the partition lock in
+  /// concurrent configurations; every field is a RelaxedCounter, so
+  /// lock-free readers (statsApprox(), the shim's stats dump) may snapshot
+  /// them concurrently — individual fields are exact, cross-field
+  /// consistency requires the lock.
   const PartitionStats &stats() const { return Stats; }
 
 private:

@@ -31,6 +31,11 @@ namespace {
 /// shard's placement streams under a fixed seed.
 constexpr uint64_t LargeSeedSalt = 0xD1E4A8D0B5E7ULL;
 
+/// Monotonic source of heap-instance ids (starting at 1; 0 is the memo's
+/// "empty" key). Ids are never reused, so a thread's cache memo can never
+/// alias a later heap.
+std::atomic<uint64_t> NextHeapId{1};
+
 /// Monotonic source of thread tokens. Process-global (not per heap): a
 /// thread keeps one token for its lifetime and maps it onto any instance's
 /// shard count with a modulo, which round-robins threads across shards and
@@ -94,9 +99,29 @@ ShardedHeap::ShardedHeap(const ShardedHeapOptions &Options) : Opts(Options) {
 
   LargeRand.setSeed(Opts.Heap.Seed != 0 ? Opts.Heap.Seed ^ LargeSeedSalt
                                         : realRandomSeed());
+
+  Id = NextHeapId.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.ThreadCacheSlots != 0) {
+    size_t K = Opts.ThreadCacheSlots;
+    if (K > ThreadCache::MaxSlotsPerClass)
+      K = ThreadCache::MaxSlotsPerClass;
+    CacheSlotsPerClass = static_cast<uint32_t>(K);
+    size_t D = 2 * K;
+    if (D < 16)
+      D = 16;
+    if (D > ThreadCache::MaxDeferred)
+      D = ThreadCache::MaxDeferred;
+    CacheDeferredCap = static_cast<uint32_t>(D);
+  }
 }
 
-ShardedHeap::~ShardedHeap() = default;
+ShardedHeap::~ShardedHeap() {
+  // Threads using this heap are contractually done; their caches hold only
+  // pointers into reservations that are about to vanish, so there is
+  // nothing to flush — just orphan them. Owner threads prune the corpses
+  // lazily (or at their exit).
+  threadCacheRetireHeap(Caches);
+}
 
 const DieHardHeap &ShardedHeap::shard(size_t Index) const {
   return Shards[Index]->Heap;
@@ -138,6 +163,23 @@ void *ShardedHeap::allocate(size_t Size) {
   if (Size > SizeClass::MaxObjectSize)
     return allocateLarge(Size);
   int Class = SizeClass::sizeToClass(Size);
+
+  // The lock-free fast path: pop a pre-claimed slot from the calling
+  // thread's cache. On an empty class buffer, one locked batch refill; if
+  // even that finds the home partition saturated, fall through to the
+  // ordinary locked path, which knows how to route overflow to a sibling.
+  if (CacheSlotsPerClass != 0) {
+    ThreadCache *TC = cacheForThread();
+    if (TC != nullptr) {
+      void *Ptr = TC->pop(Class);
+      if (Ptr != nullptr)
+        return Ptr;
+      Ptr = refillAndPop(*TC, Class);
+      if (Ptr != nullptr)
+        return Ptr;
+    }
+  }
+
   uint32_t Home = homeShard();
   bool Route = Opts.OverflowRouting && Shards.size() > 1;
 
@@ -208,21 +250,108 @@ void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
   return nullptr; // Every probed sibling is at its 1/M bound too.
 }
 
+ThreadCache *ShardedHeap::cacheForThread() {
+  ThreadCache *TC = threadCacheLookup(Id);
+  if (TC != nullptr)
+    return TC;
+  return threadCacheInstall(*this, Caches, Id, homeShard(),
+                            CacheSlotsPerClass, CacheDeferredCap);
+}
+
+void *ShardedHeap::refillAndPop(ThreadCache &TC, int Class) {
+  Shard &S = *Shards[TC.homeShard()];
+  // Lock-free gauge pre-check, mirroring the locked path's: when the home
+  // partition already shows its 1/M bound, skip the doomed lock
+  // round-trip — otherwise a saturated class would re-serialize every
+  // same-class thread on exactly the mutex this tier exists to avoid. A
+  // stale read is harmless: claimCachedSlots re-checks under the lock.
+  const RandomizedPartition &Part = S.Heap.partition(Class);
+  if (Part.live() >= Part.threshold())
+    return nullptr;
+  void *Batch[ThreadCache::MaxSlotsPerClass];
+  size_t N;
+  {
+    std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+    N = S.Heap.claimCachedSlots(Class, Batch, TC.slotsPerClass());
+  }
+  if (N == 0)
+    return nullptr; // Home partition at its 1/M bound.
+  CacheRefillCount.fetch_add(1, std::memory_order_relaxed);
+  // Refill boundaries double as fold points, keeping the per-pop fast path
+  // free of shared atomics while the aggregates stay at most K behind.
+  FoldedPops.fetch_add(TC.takePops(), std::memory_order_relaxed);
+  TC.put(Class, Batch, N);
+  return TC.pop(Class);
+}
+
+void ShardedHeap::flushDeferred(ThreadCache &TC) {
+  DeferredFree Buf[ThreadCache::MaxDeferred];
+  size_t N = TC.drainDeferred(Buf);
+  if (N == 0)
+    return;
+  // Return the frees grouped by owning partition, one lock acquisition per
+  // group. The common case — every free owned by the home shard and a
+  // couple of hot classes — makes this a handful of locked batches.
+  void *Group[ThreadCache::MaxDeferred];
+  size_t Remaining = N;
+  while (Remaining != 0) {
+    uint32_t Owner = Buf[0].Owner;
+    int32_t Class = Buf[0].Class;
+    size_t GroupSize = 0, Kept = 0;
+    for (size_t I = 0; I < Remaining; ++I) {
+      if (Buf[I].Owner == Owner && Buf[I].Class == Class)
+        Group[GroupSize++] = Buf[I].Ptr;
+      else
+        Buf[Kept++] = Buf[I];
+    }
+    Shard &S = *Shards[Owner];
+    {
+      std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+      S.Heap.deallocateBatch(Class, Group, GroupSize);
+    }
+    Remaining = Kept;
+  }
+  CacheFlushCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedHeap::flushCacheFully(ThreadCache &TC) {
+  flushDeferred(TC);
+  Shard &S = *Shards[TC.homeShard()];
+  void *Slots[ThreadCache::MaxSlotsPerClass];
+  for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+    size_t N = TC.take(C, Slots);
+    if (N == 0)
+      continue;
+    std::lock_guard<std::mutex> Guard(partitionLock(S, C));
+    S.Heap.reclaimCachedSlots(C, Slots, N);
+  }
+  FoldedPops.fetch_add(TC.takePops(), std::memory_order_relaxed);
+  CacheFlushCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedHeap::flushThreadCache() {
+  if (CacheSlotsPerClass == 0)
+    return;
+  ThreadCache *TC = threadCacheLookup(Id);
+  if (TC != nullptr)
+    flushCacheFully(*TC);
+}
+
 void *ShardedHeap::allocateLarge(size_t Size) {
   std::lock_guard<std::mutex> Guard(LargeLock);
   void *Ptr = LargeObjects.allocate(Size);
   if (Ptr == nullptr) {
-    ++LargeStats.FailedAllocations;
+    ++LargeFailedCount;
     return nullptr;
   }
   if (!Registry.insert(Ptr, Size, LargeOwner)) {
     // Registry node allocation failed (heap exhausted). Unwind: an object
     // the registry cannot route could never be freed or sized.
     LargeObjects.deallocate(Ptr);
-    ++LargeStats.FailedAllocations;
+    ++LargeFailedCount;
     return nullptr;
   }
-  ++LargeStats.LargeAllocations;
+  ++LargeAllocCount;
   LargeLiveBytes += Size;
   if (Opts.Heap.RandomFillObjects) {
     // Same fill as DieHardHeap, from the dedicated large-object stream.
@@ -234,7 +363,27 @@ void *ShardedHeap::allocateLarge(size_t Size) {
 void ShardedHeap::deallocate(void *Ptr) {
   if (Ptr == nullptr)
     return;
-  deallocateOwned(Ptr, ownerOf(Ptr));
+  deferOrDeallocate(Ptr, ownerOf(Ptr));
+}
+
+void ShardedHeap::deferOrDeallocate(void *Ptr, uint32_t Owner) {
+  // Small-object frees — home or cross-thread alike — park in the calling
+  // thread's deferred buffer with their owner pre-resolved; validation
+  // happens at flush time by the owning partition, exactly as it would
+  // have at free time. Large and foreign pointers keep their locked paths.
+  if (CacheSlotsPerClass != 0 && Owner != AddressRangeMap::NoOwner &&
+      Owner != LargeOwner) {
+    ThreadCache *TC = cacheForThread();
+    if (TC != nullptr) {
+      int Class = Shards[Owner]->Heap.partitionIndexOf(Ptr);
+      if (!TC->pushDeferred(Ptr, Owner, Class)) {
+        flushDeferred(*TC);
+        TC->pushDeferred(Ptr, Owner, Class); // Cannot fail after a drain.
+      }
+      return;
+    }
+  }
+  deallocateOwned(Ptr, Owner);
 }
 
 void ShardedHeap::deallocateOwned(void *Ptr, uint32_t Owner) {
@@ -261,12 +410,12 @@ void ShardedHeap::deallocateLarge(void *Ptr) {
   size_t Size = LargeObjects.getSize(Ptr);
   if (Size != 0 && LargeObjects.deallocate(Ptr)) {
     Registry.erase(Ptr);
-    ++LargeStats.LargeFrees;
+    ++LargeFreeCount;
     LargeLiveBytes -= Size;
     return;
   }
   // Interior pointer into a live large object, or a double free.
-  ++LargeStats.IgnoredFrees;
+  ++LargeIgnoredFrees;
 }
 
 void *ShardedHeap::reallocate(void *Ptr, size_t NewSize) {
@@ -292,7 +441,7 @@ void *ShardedHeap::reallocate(void *Ptr, size_t NewSize) {
   if (Fresh == nullptr)
     return nullptr;
   std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
-  deallocateOwned(Ptr, Owner);
+  deferOrDeallocate(Ptr, Owner);
   return Fresh;
 }
 
@@ -325,28 +474,51 @@ size_t ShardedHeap::sizeOfOwned(const void *Ptr, uint32_t Owner) const {
   return S.Heap.partition(Class).objectSize(Ptr);
 }
 
-DieHardStats ShardedHeap::stats() const {
+DieHardStats ShardedHeap::sharedCounterSnapshot() const {
+  // Everything both stats() and statsApprox() read the same way: the
+  // heap-level relaxed gauges (no locks anywhere).
   DieHardStats Total;
-  {
-    std::lock_guard<std::mutex> Guard(LargeLock);
-    Total = LargeStats;
-  }
+  Total.Allocations = FoldedPops.load(std::memory_order_relaxed);
+  Total.CacheRefills = CacheRefillCount.load(std::memory_order_relaxed);
+  Total.CacheFlushes = CacheFlushCount.load(std::memory_order_relaxed);
+  Total.LargeAllocations = LargeAllocCount;
+  Total.LargeFrees = LargeFreeCount;
+  Total.FailedAllocations = LargeFailedCount;
+  Total.IgnoredFrees = LargeIgnoredFrees;
   Total.IgnoredFrees += ForeignFrees.load(std::memory_order_relaxed);
   Total.OverflowAllocations = OverflowCount.load(std::memory_order_relaxed);
   Total.FailedAllocations +=
       OverflowFailedCount.load(std::memory_order_relaxed);
+  return Total;
+}
+
+void ShardedHeap::addPartitionStats(DieHardStats &Total,
+                                    const PartitionStats &PS) {
+  Total.Allocations += PS.Allocations;
+  Total.Frees += PS.Frees;
+  Total.FailedAllocations += PS.FailedAllocations;
+  Total.IgnoredFrees += PS.IgnoredFrees;
+  Total.Probes += PS.Probes;
+  Total.ProbeFallbacks += PS.ProbeFallbacks;
+}
+
+DieHardStats ShardedHeap::stats() const {
+  // Cache tier first (registry lock taken and released before any
+  // partition lock, per the hierarchy). Pops not yet folded and deferred
+  // frees not yet flushed are folded into Allocations/Frees here, so the
+  // totals describe user-visible events even mid-flight.
+  ThreadCacheTally Tally = threadCacheTally(Caches);
+  DieHardStats Total = sharedCounterSnapshot();
+  Total.CachedSlots = Tally.CachedSlots;
+  Total.Allocations += Tally.PendingPops;
+  Total.Frees += Tally.DeferredFrees;
+
   for (const std::unique_ptr<Shard> &S : Shards) {
     // One partition lock at a time, ascending class order (the only place a
     // thread may take several locks of one shard; see the lock hierarchy).
     for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
       std::lock_guard<std::mutex> Guard(partitionLock(*S, C));
-      const PartitionStats &PS = S->Heap.partition(C).stats();
-      Total.Allocations += PS.Allocations;
-      Total.Frees += PS.Frees;
-      Total.FailedAllocations += PS.FailedAllocations;
-      Total.IgnoredFrees += PS.IgnoredFrees;
-      Total.Probes += PS.Probes;
-      Total.ProbeFallbacks += PS.ProbeFallbacks;
+      addPartitionStats(Total, S->Heap.partition(C).stats());
     }
     // A shard heap's own large path is never exercised behind this layer
     // (large requests use the shared path above, and only in-reservation
@@ -358,13 +530,34 @@ DieHardStats ShardedHeap::stats() const {
   return Total;
 }
 
-size_t ShardedHeap::bytesLive() const {
-  size_t Total;
-  {
-    std::lock_guard<std::mutex> Guard(LargeLock);
-    Total = LargeLiveBytes;
+DieHardStats ShardedHeap::statsApprox() const {
+  DieHardStats Total = sharedCounterSnapshot();
+  uint64_t Folded = Total.Allocations; // FoldedPops, per the snapshot.
+
+  uint64_t Claimed = 0, Returned = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+      // Relaxed-gauge reads only: no partition lock, no registry lock.
+      const PartitionStats &PS = S->Heap.partition(C).stats();
+      addPartitionStats(Total, PS);
+      Claimed += PS.ClaimedSlots;
+      Returned += PS.ReturnedSlots;
+    }
   }
-  // Partition live-byte gauges are relaxed atomics: no locks needed.
+  // Cached = claimed - returned - popped, using the folded pop count as the
+  // (lagging) pop estimate. Unsynchronized counter reads can transiently
+  // order against each other, so clamp instead of wrapping.
+  int64_t Cached = static_cast<int64_t>(Claimed) -
+                   static_cast<int64_t>(Returned) -
+                   static_cast<int64_t>(Folded);
+  Total.CachedSlots = Cached > 0 ? static_cast<uint64_t>(Cached) : 0;
+  return Total;
+}
+
+size_t ShardedHeap::bytesLive() const {
+  // Gauges all the way down (the large live-byte counter included): no
+  // locks needed.
+  size_t Total = LargeLiveBytes;
   for (const std::unique_ptr<Shard> &S : Shards)
     for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
       Total += S->Heap.partition(C).liveBytes();

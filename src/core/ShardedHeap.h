@@ -53,8 +53,21 @@
 /// heap's sequence. Replicas run one shard so scheduling cannot perturb
 /// their allocation order.
 ///
-/// Lock ordering: LargeLock -> AddressRangeMap lock -> partition lock. A
-/// thread holds at most one partition lock at a time, with one exception:
+/// Thread-cache tier (ThreadCacheSlots > 0 / DIEHARD_TCACHE): each thread
+/// fronts its home shard with a per-size-class buffer of K pre-claimed,
+/// uniformly chosen slots (one locked batch claim per refill) and a bounded
+/// deferred-free buffer flushed back in owner-grouped locked batches, so
+/// the steady-state malloc/free takes no lock at all. Cached slots stay
+/// counted against the owning partition's 1/M bound; refills draw from
+/// exactly allocate()'s distribution, so the paper's invariants survive
+/// unchanged (see ThreadCache.h). ShardedHeap owns cache registration,
+/// refill/flush, thread-exit flush and the cache-aware stats.
+///
+/// Lock ordering: cache registry lock -> LargeLock -> AddressRangeMap lock
+/// -> partition lock (the registry lock is only ever combined with
+/// partition locks, by the thread-exit flush; stats() takes it and releases
+/// it before touching partitions). A thread holds at most one partition
+/// lock at a time, with one exception:
 /// the stats()/aggregation paths may hold several partition locks *of the
 /// same shard* acquired in ascending class order (never locks of two
 /// different shards). Overflow routing takes sibling partition locks only
@@ -72,6 +85,7 @@
 
 #include "core/DieHardHeap.h"
 #include "core/LargeObjectManager.h"
+#include "core/ThreadCache.h"
 #include "support/AddressRangeMap.h"
 #include "support/Rng.h"
 
@@ -109,6 +123,16 @@ struct ShardedHeapOptions {
   /// behaviour — kept as a measurement baseline for bench_mt_scaling's
   /// contention scenario.
   bool PartitionLocking = true;
+
+  /// K: per-thread, per-size-class cached slot count. 0 (default) disables
+  /// the thread-cache tier entirely, leaving every operation on the locked
+  /// paths — and small-object placement bit-identical to a lone
+  /// DieHardHeap in the single-shard configuration. Nonzero enables the
+  /// lock-free fast path: batches of K uniformly chosen slots per refill,
+  /// and a deferred-free buffer of 2K entries (clamped to
+  /// [ThreadCache minimums, ThreadCache::Max*]). The shim maps
+  /// DIEHARD_TCACHE onto this.
+  size_t ThreadCacheSlots = 0;
 };
 
 /// Thread-scalable sharded DieHard heap.
@@ -182,10 +206,42 @@ public:
   /// The calling thread's home shard index.
   size_t homeShardIndex() const { return homeShard(); }
 
-  /// Behaviour counters aggregated across every shard and the large-object
-  /// path (including OverflowAllocations). Takes each partition lock
-  /// briefly; intended for tests and reporting, not hot paths.
+  /// Behaviour counters aggregated across every shard, the large-object
+  /// path and the thread-cache tier (including OverflowAllocations and the
+  /// Cache* fields). Takes each partition lock briefly plus the cache
+  /// registry lock; intended for tests and reporting, not hot paths. Exact
+  /// when the heap is quiescent; Allocations includes cache-served pops and
+  /// Frees includes deferred (not-yet-flushed) frees, so the
+  /// Allocations == Frees invariant holds whenever every user object has
+  /// been freed, flushed or not.
   DieHardStats stats() const;
+
+  /// Lock-free approximation of stats(): every field is assembled from
+  /// relaxed-atomic gauges without taking any partition lock or the cache
+  /// registry lock, so observability never contends with allocation. With
+  /// the cache tier active, Allocations lags stats() by at most the pops
+  /// not yet folded (one refill per thread), Frees by the deferred buffers'
+  /// occupancy, and CachedSlots is an overestimate clamped at 0 under
+  /// concurrent refills. Equal to stats() when the heap is quiescent and
+  /// every cache has been flushed.
+  DieHardStats statsApprox() const;
+
+  /// Slots currently claimed into thread caches (exact, under the cache
+  /// registry lock). The satellite gauge for "no leaked cached slots":
+  /// after every caching thread has exited (or flushed), this is 0.
+  size_t cachedSlots() const {
+    return threadCacheTally(Caches).CachedSlots;
+  }
+
+  /// Flushes the calling thread's cache for this heap, if any: deferred
+  /// frees are returned to their owning partitions and unused cached slots
+  /// are reclaimed. The cache stays installed (and refills on next use).
+  void flushThreadCache();
+
+  /// Internal: full flush on behalf of the thread-exit destructor. Called
+  /// by threadCacheExitFlush() under the cache registry lock; not part of
+  /// the public surface.
+  void flushCacheAtThreadExit(ThreadCache &TC) { flushCacheFully(TC); }
 
   /// Allocations that were served by a sibling shard because the home
   /// partition was at its 1/M bound. Lock-free read.
@@ -251,6 +307,40 @@ private:
   size_t sizeOfOwned(const void *Ptr, uint32_t Owner) const;
   void deallocateOwned(void *Ptr, uint32_t Owner);
 
+  /// Free with an already-resolved owner, parking small-object frees in
+  /// the calling thread's deferred buffer when the cache tier is on;
+  /// everything else (large, foreign, no cache) goes to deallocateOwned.
+  void deferOrDeallocate(void *Ptr, uint32_t Owner);
+
+  /// The calling thread's cache, created on first use; nullptr when the
+  /// tier is disabled or installation failed (callers use the locked
+  /// paths).
+  ThreadCache *cacheForThread();
+
+  /// Refills \p TC's class-\p Class buffer with one locked batch claim
+  /// from the home partition and pops the first slot. \returns nullptr if
+  /// the home partition is saturated (the caller falls back to the locked
+  /// path, which may route overflow to a sibling).
+  void *refillAndPop(ThreadCache &TC, int Class);
+
+  /// Returns every deferred free to its owning partition, one locked batch
+  /// per (owner shard, class) group.
+  void flushDeferred(ThreadCache &TC);
+
+  /// flushDeferred plus reclamation of all unused cached slots and a fold
+  /// of the cache's counters into the heap aggregates.
+  void flushCacheFully(ThreadCache &TC);
+
+  /// The heap-level relaxed gauges common to stats() and statsApprox()
+  /// (large path, foreign frees, overflow, cache refill/flush counters,
+  /// folded pops). Lock-free.
+  DieHardStats sharedCounterSnapshot() const;
+
+  /// Folds one partition's counters into \p Total (the fields both
+  /// aggregation paths copy — keep in one place so they cannot diverge).
+  static void addPartitionStats(DieHardStats &Total,
+                                const PartitionStats &PS);
+
   /// Locks class \p Class of shard \p Index and allocates \p Size bytes.
   void *allocateSmallIn(uint32_t Index, int Class, size_t Size);
 
@@ -285,9 +375,36 @@ private:
 
   mutable std::mutex LargeLock;
   LargeObjectManager LargeObjects;
-  Rng LargeRand;                ///< Fills large objects in replica mode.
-  DieHardStats LargeStats;      ///< Large-path counters (under LargeLock).
-  size_t LargeLiveBytes = 0;
+  Rng LargeRand; ///< Fills large objects in replica mode.
+
+  // Large-path counters: mutated only under LargeLock, RelaxedCounter so
+  // stats()/statsApprox()/bytesLive() read them without it.
+  RelaxedCounter LargeAllocCount;
+  RelaxedCounter LargeFreeCount;
+  RelaxedCounter LargeFailedCount;
+  RelaxedCounter LargeIgnoredFrees;
+  RelaxedCounter LargeLiveBytes;
+
+  // --- Thread-cache tier ---------------------------------------------------
+
+  /// Unique id of this heap instance (never reused), the key thread-local
+  /// cache memos match against.
+  uint64_t Id = 0;
+
+  /// Resolved per-class cache capacity K (0 = tier disabled) and deferred
+  /// buffer capacity.
+  uint32_t CacheSlotsPerClass = 0;
+  uint32_t CacheDeferredCap = 0;
+
+  /// Registry of this heap's live caches (guarded by the process-global
+  /// cache registry lock in ThreadCache.cpp).
+  ThreadCacheAnchor Caches;
+
+  /// Cache-tier aggregates. Pops fold in at refill/flush boundaries so the
+  /// per-allocation fast path touches no shared atomics.
+  std::atomic<uint64_t> FoldedPops{0};
+  std::atomic<uint64_t> CacheRefillCount{0};
+  std::atomic<uint64_t> CacheFlushCount{0};
 
   /// Allocations served by a sibling shard (home partition saturated).
   std::atomic<uint64_t> OverflowCount{0};

@@ -27,15 +27,29 @@
 ///                       partition is at its 1/M bound borrows capacity
 ///                       from the least-loaded sibling shard instead of
 ///                       failing the allocation
+///   DIEHARD_TCACHE      K: per-thread, per-size-class cached slot count
+///                       for the lock-free fast path (default 32 in
+///                       sharded mode; 0 disables). Forced off in
+///                       replicated mode — replicas must stay
+///                       deterministic per seed regardless of thread
+///                       timing — and under an explicit DIEHARD_SHARDS=1,
+///                       where bit-identity with a lone DieHardHeap is
+///                       being enforced.
+///   DIEHARD_STATS       "1" dumps a JSON stats line (the lock-free
+///                       statsApprox() snapshot) at process exit to the
+///                       process's startup stderr; any other value is
+///                       taken as a file path to append the line to.
 ///
-/// Locking: there is no global malloc lock. After initialization every
-/// entry point goes straight into ShardedHeap, which locks only the
-/// *partition* (one size class of one shard) a request touches — the
-/// calling thread's home shard for allocation, the owner of the freed
-/// pointer for frees — or the dedicated large-object lock. The one
-/// remaining global mutex is a narrow constructor guard that serializes
-/// first-time heap construction and is never touched again once the heap
-/// pointer is published.
+/// Locking: there is no global malloc lock. After initialization the
+/// steady-state malloc/free is a thread-cache array pop/push with no lock
+/// at all (DIEHARD_TCACHE); refills and deferred-free flushes take exactly
+/// one *partition* lock (one size class of one shard) per batch. With the
+/// cache off, every entry point goes straight into ShardedHeap's
+/// per-partition locking — the calling thread's home shard for allocation,
+/// the owner of the freed pointer for frees — or the dedicated
+/// large-object lock. The one remaining global mutex is a narrow
+/// constructor guard that serializes first-time heap construction and is
+/// never touched again once the heap pointer is published.
 ///
 /// Re-entrancy: constructing the heap allocates metadata (bitmaps and the
 /// shard address registry), which re-enters malloc on the same thread. The
@@ -53,7 +67,9 @@
 #include <cstring>
 #include <new>
 
+#include <fcntl.h>
 #include <pthread.h>
+#include <unistd.h>
 
 using diehard::DieHardOptions;
 using diehard::ShardedHeap;
@@ -140,6 +156,51 @@ size_t envShards(bool Replicated) {
   return Replicated ? 1 : 0;
 }
 
+/// Resolves the thread-cache size K: DIEHARD_TCACHE wins (0 disables),
+/// default 32 — but forced off for replicas (per-seed determinism must not
+/// depend on thread timing) and under an explicit DIEHARD_SHARDS=1 (the
+/// bit-identity-with-a-lone-heap configuration).
+size_t envThreadCache(bool Replicated) {
+  if (Replicated || envSize("DIEHARD_SHARDS", 0) == 1)
+    return 0;
+  return envSize("DIEHARD_TCACHE", 32);
+}
+
+/// Where the DIEHARD_STATS dump goes: a load-time dup of stderr (or an
+/// opened file), -1 when disabled. Dup'ed early because applications (the
+/// coreutils close_stdout idiom among them) may close their streams from
+/// their own atexit handlers, which run before our DSO destructor.
+int StatsFd = -1;
+
+/// DIEHARD_STATS exit hook: dump the lock-free stats snapshot without
+/// calling anything that might allocate mid-teardown.
+void dumpStatsAtExit() {
+  diehard::ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H == nullptr || StatsFd < 0)
+    return;
+  diehard::DieHardStats S = H->statsApprox();
+  char Line[512];
+  int N = std::snprintf(
+      Line, sizeof(Line),
+      "{\"diehard_stats\":{\"allocations\":%llu,\"frees\":%llu,"
+      "\"failed\":%llu,\"ignored_frees\":%llu,\"large_allocations\":%llu,"
+      "\"large_frees\":%llu,\"overflow\":%llu,\"cached_slots\":%llu,"
+      "\"cache_refills\":%llu,\"cache_flushes\":%llu,\"probes\":%llu}}\n",
+      static_cast<unsigned long long>(S.Allocations),
+      static_cast<unsigned long long>(S.Frees),
+      static_cast<unsigned long long>(S.FailedAllocations),
+      static_cast<unsigned long long>(S.IgnoredFrees),
+      static_cast<unsigned long long>(S.LargeAllocations),
+      static_cast<unsigned long long>(S.LargeFrees),
+      static_cast<unsigned long long>(S.OverflowAllocations),
+      static_cast<unsigned long long>(S.CachedSlots),
+      static_cast<unsigned long long>(S.CacheRefills),
+      static_cast<unsigned long long>(S.CacheFlushes),
+      static_cast<unsigned long long>(S.Probes));
+  if (N > 0)
+    (void)!::write(StatsFd, Line, static_cast<size_t>(N));
+}
+
 /// Constructs the heap on first use. Must be called with ConstructionLock
 /// held and ConstructingHeap false.
 ShardedHeap *constructHeap() {
@@ -156,11 +217,36 @@ ShardedHeap *constructHeap() {
   }
   Options.NumShards = envShards(IsReplica);
   Options.OverflowRouting = envFlag("DIEHARD_OVERFLOW", true);
+  Options.ThreadCacheSlots = envThreadCache(IsReplica);
   ShardedHeap *H = new (HeapStorage) ShardedHeap(Options);
   ConstructingHeap = false;
   TheHeap.store(H, std::memory_order_release);
   return H;
 }
+
+/// Static hook pair for the stats dump. The constructor resolves the sink
+/// while the process's descriptors are still pristine; the destructor —
+/// registered at shim load, hence run after the application's own atexit
+/// handlers — emits the line. (Registering via atexit() from the lazily
+/// constructed heap is not an option: the first malloc can come from the
+/// dynamic loader, before atexit() works.)
+struct StatsDumper {
+  StatsDumper() {
+    const char *V = std::getenv("DIEHARD_STATS");
+    if (V == nullptr || V[0] == '\0' || (V[0] == '0' && V[1] == '\0'))
+      return; // Disabled.
+    if (V[0] == '1' && V[1] == '\0')
+      StatsFd = ::fcntl(2, F_DUPFD_CLOEXEC, 100); // Startup stderr.
+    else
+      StatsFd = ::open(V, O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  }
+  ~StatsDumper() {
+    dumpStatsAtExit();
+    if (StatsFd >= 0)
+      ::close(StatsFd);
+  }
+};
+StatsDumper TheStatsDumper;
 
 /// The slow path shared by the allocating entry points: either we are the
 /// constructing thread re-entering malloc (serve from the arena, signalled
@@ -277,6 +363,25 @@ size_t malloc_usable_size(void *Ptr) {
   if (H == nullptr)
     return 0;
   return H->getObjectSize(Ptr);
+}
+
+// --- Observability hooks ----------------------------------------------------
+// Looked up with dlsym() by test victims and available to applications that
+// want cache-tier visibility without a dependency on DieHard headers.
+
+/// Slots currently claimed into thread caches across the process heap
+/// (0 with the cache tier off or before the heap exists).
+size_t diehard_cached_slots(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? H->cachedSlots() : 0;
+}
+
+/// Flushes the calling thread's cache: deferred frees return to their
+/// partitions, unused cached slots are reclaimed.
+void diehard_flush_thread_cache(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  if (H != nullptr)
+    H->flushThreadCache();
 }
 
 } // extern "C"

@@ -230,5 +230,92 @@ TEST(RandomizedPartitionTest, HeapExposesPartitionGauges) {
   EXPECT_EQ(H.partition(C).fill(), 0.0);
 }
 
+TEST(RandomizedPartitionTest, BatchClaimRespectsThresholdAndIsDistinct) {
+  PartitionFixture F(128, 64); // Threshold 32.
+  void *Batch[64];
+  size_t N = F.Partition.claimRandomSlots(Batch, 20);
+  EXPECT_EQ(N, 20u);
+  EXPECT_EQ(F.Partition.live(), 20u) << "claimed slots count as live";
+  EXPECT_EQ(F.Partition.liveBytes(), 20u * 128u);
+  EXPECT_EQ(F.Partition.stats().ClaimedSlots, 20u);
+  EXPECT_EQ(F.Partition.stats().Allocations, 0u)
+      << "claims are not user allocations";
+  std::set<void *> Seen;
+  for (size_t I = 0; I < N; ++I) {
+    EXPECT_TRUE(F.Partition.contains(Batch[I]));
+    EXPECT_TRUE(Seen.insert(Batch[I]).second) << "slot claimed twice";
+  }
+
+  // A second claim is clipped to the 1/M bound, and a third returns 0.
+  void *More[64];
+  size_t M = F.Partition.claimRandomSlots(More, 20);
+  EXPECT_EQ(M, 12u) << "claim clipped at the threshold";
+  EXPECT_EQ(F.Partition.fill(), 1.0);
+  EXPECT_EQ(F.Partition.claimRandomSlots(More + M, 20), 0u);
+  EXPECT_EQ(F.Partition.stats().FailedAllocations, 0u)
+      << "a refused batch claim is not a user-visible failed malloc";
+
+  // Interleaved single allocations also see the bound.
+  EXPECT_EQ(F.Partition.allocate(), nullptr);
+  EXPECT_EQ(F.Partition.stats().FailedAllocations, 1u);
+
+  // Reclaim restores capacity without touching Frees.
+  F.Partition.reclaimSlots(Batch, N);
+  F.Partition.reclaimSlots(More, M);
+  EXPECT_EQ(F.Partition.live(), 0u);
+  EXPECT_EQ(F.Partition.liveBytes(), 0u);
+  EXPECT_EQ(F.Partition.stats().ReturnedSlots, 32u);
+  EXPECT_EQ(F.Partition.stats().Frees, 0u);
+  EXPECT_NE(F.Partition.allocate(), nullptr);
+}
+
+TEST(RandomizedPartitionTest, BatchDeallocateValidatesEachPointer) {
+  PartitionFixture F(64, 256);
+  void *Batch[8];
+  size_t N = F.Partition.claimRandomSlots(Batch, 8);
+  ASSERT_EQ(N, 8u);
+
+  // A batch containing a double free and a misaligned pointer frees only
+  // the valid entries and counts the rest as ignored.
+  void *Frees[10];
+  std::memcpy(Frees, Batch, sizeof(Batch));
+  Frees[8] = Batch[0]; // Double free within the batch.
+  Frees[9] = static_cast<char *>(Batch[1]) + 1; // Misaligned.
+  EXPECT_EQ(F.Partition.deallocateBatch(Frees, 10), 8u);
+  EXPECT_EQ(F.Partition.stats().Frees, 8u);
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 2u);
+  EXPECT_EQ(F.Partition.live(), 0u);
+}
+
+TEST(RandomizedPartitionTest, BatchClaimDrawsFromTheUniformDiscipline) {
+  // Claiming K slots must hit every slot with the same long-run frequency
+  // as repeated single allocations: claim/reclaim batches over many rounds
+  // and chi-square the slot histogram against uniform.
+  PartitionFixture F(64, 64, 2.0, 99);
+  std::vector<uint64_t> Histogram(64, 0);
+  constexpr int Rounds = 600;
+  void *Batch[16];
+  for (int R = 0; R < Rounds; ++R) {
+    size_t N = F.Partition.claimRandomSlots(Batch, 16);
+    ASSERT_EQ(N, 16u);
+    for (size_t I = 0; I < N; ++I) {
+      size_t Slot = (static_cast<char *>(Batch[I]) -
+                     static_cast<const char *>(F.Partition.base())) /
+                    64;
+      ++Histogram[Slot];
+    }
+    F.Partition.reclaimSlots(Batch, N);
+  }
+  double Expected = Rounds * 16.0 / 64.0;
+  double Chi2 = 0.0;
+  for (uint64_t Count : Histogram) {
+    double D = static_cast<double>(Count) - Expected;
+    Chi2 += D * D / Expected;
+  }
+  // df = 63, alpha = 0.001 critical value 103.4; fixed seed, so the
+  // statistic is deterministic.
+  EXPECT_LT(Chi2, 103.4);
+}
+
 } // namespace
 } // namespace diehard

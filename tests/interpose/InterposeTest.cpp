@@ -172,6 +172,57 @@ TEST(InterposeTest, OverflowRoutingTogglesViaEnvironment) {
   EXPECT_EQ(Off.Output, "MT-SHARD-OK\n");
 }
 
+TEST(InterposeTest, ThreadCacheServesTheFullStress) {
+  // The default sharded configuration runs with the thread-cache fast path
+  // on; pin the size explicitly and let the victim's phase 3 verify (via
+  // the dlsym hooks) that no cached slot survives the thread joins.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_SHARDS=4 DIEHARD_TCACHE=16");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, ThreadCacheDisabledStillPasses) {
+  // DIEHARD_TCACHE=0 keeps every operation on the locked paths.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_SHARDS=4 DIEHARD_TCACHE=0");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, TinyThreadCacheForcesConstantRefills) {
+  // K=1 degenerates to a refill per allocation — the worst case for the
+  // refill/flush machinery, which must still be correct.
+  RunResult R = runPreloaded(DIEHARD_MT_SHARD_VICTIM_PATH,
+                             "DIEHARD_SHARDS=2 DIEHARD_TCACHE=1");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, StatsDumpEmitsJsonAtExit) {
+  // A DIEHARD_STATS value other than 0/1 names a file to append the JSON
+  // line to — the robust capture for pipelines, whose stderr the shim's
+  // startup dup would otherwise point at the test harness.
+  std::string StatsFile =
+      ::testing::TempDir() + "diehard-stats-dump.json";
+  std::remove(StatsFile.c_str());
+  RunResult R = runPreloaded("sort /etc/hostname > /dev/null && echo ok",
+                             "DIEHARD_STATS=" + StatsFile +
+                                 " DIEHARD_TCACHE=8");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "ok\n");
+  std::FILE *F = std::fopen(StatsFile.c_str(), "r");
+  ASSERT_NE(F, nullptr) << "no stats dump written to " << StatsFile;
+  char Buf[4096];
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::remove(StatsFile.c_str());
+  std::string Dump(Buf, N);
+  EXPECT_NE(Dump.find("\"diehard_stats\""), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("\"allocations\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"cache_refills\""), std::string::npos);
+}
+
 TEST(InterposeTest, CppBinaryWithNewDelete) {
   // ls uses C++-free paths but covers opendir/qsort allocation patterns;
   // this at least exercises a real multi-library binary end to end.

@@ -15,11 +15,17 @@
 ///   2. Thread churn: waves of short-lived threads, far more than any sane
 ///      shard count, so thread-token assignment has to wrap.
 ///   3. Large objects and malloc_usable_size across threads.
+///   4. Thread-cache hygiene: when running under the shim with the
+///      thread-cache tier enabled, the shim's observability hooks (looked
+///      up via dlsym, absent when not preloaded) must report zero cached
+///      slots once every worker thread has joined and the main thread has
+///      flushed — i.e. thread-exit flushing leaks nothing.
 ///
 /// Prints "MT-SHARD-OK" and exits 0 when every check passes.
 ///
 //===----------------------------------------------------------------------===//
 
+#include <dlfcn.h>
 #include <malloc.h>
 
 #include <atomic>
@@ -211,6 +217,25 @@ int main() {
                            static_cast<unsigned>(Wave * 100 + T) + 1);
     for (std::thread &T : Threads)
       T.join();
+  }
+
+  // Phase 3: thread-cache hygiene. Every worker has joined (their exit
+  // destructors flushed their caches); after flushing the main thread's
+  // own cache, no claimed slot may remain parked anywhere. The hooks only
+  // resolve when the DieHard shim is preloaded — run stand-alone, this
+  // phase is a no-op.
+  auto FlushCache = reinterpret_cast<void (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_flush_thread_cache"));
+  auto CachedSlots = reinterpret_cast<size_t (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_cached_slots"));
+  if (FlushCache != nullptr && CachedSlots != nullptr) {
+    FlushCache();
+    size_t Leaked = CachedSlots();
+    if (Leaked != 0) {
+      std::printf("MT-SHARD-FAIL: %zu cached slots leaked past joins\n",
+                  Leaked);
+      return 1;
+    }
   }
 
   if (Failures.load() != 0) {
