@@ -25,11 +25,15 @@
 ///    coarse lock serializes everything.
 ///
 /// 3. *Thread cache* — the sharded configuration with the per-thread
-///    cache tier off versus on (DIEHARD_TCACHE semantics, K=32). With the
-///    cache, the steady-state malloc/free is a TLS pop/push and partition
-///    locks are only touched once per K-slot batch, so this measures the
-///    lock-free fast path's win over per-operation locking — visible even
-///    single-threaded (fewer lock round-trips), growing with contention.
+///    cache tier off versus on (DIEHARD_TCACHE semantics, K=32) versus on
+///    with adaptive sizing (DIEHARD_TCACHE_ADAPT, K starting at 32 and
+///    moving per class with traffic). With the cache, the steady-state
+///    malloc/free is a TLS pop/push and partition locks are only touched
+///    once per K-slot batch, so this measures the lock-free fast path's
+///    win over per-operation locking — visible even single-threaded
+///    (fewer lock round-trips), growing with contention — and what
+///    adaptation adds on top (bigger batches on hot classes, so fewer
+///    refills).
 ///
 /// Usage: bench_mt_scaling [ops-per-thread] [shards]
 /// (defaults: 400000 ops, one shard per CPU)
@@ -100,6 +104,7 @@ struct RunConfig {
   bool PartitionLocks;
   bool PerThreadClasses;     ///< Thread t churns size class t % NumClasses.
   size_t ThreadCacheSlots = 0; ///< K for the thread-cache tier (0 = off).
+  bool AdaptiveCache = false;  ///< Adaptive per-class K (needs K > 0).
 };
 
 /// Runs `Threads` workers against a fresh heap per `Config` and returns
@@ -111,6 +116,7 @@ double measure(const RunConfig &Config, int Threads, long OpsPerThread) {
   Options.NumShards = Config.Shards;
   Options.PartitionLocking = Config.PartitionLocks;
   Options.ThreadCacheSlots = Config.ThreadCacheSlots;
+  Options.ThreadCacheAdaptive = Config.AdaptiveCache;
   ShardedHeap Heap(Options);
   if (!Heap.isValid()) {
     std::fprintf(stderr, "heap reservation failed\n");
@@ -227,32 +233,39 @@ int main(int argc, char **argv) {
   std::printf("partition locks vs coarse lock at 8 threads: %.2fx\n",
               PartitionedAt8 / CoarseAt8);
 
-  // Scenario 3: the thread-cache tier off vs on (K=32) over the sharded
-  // configuration — the lock-free fast path's win over per-op locking.
+  // Scenario 3: the thread-cache tier off vs on (K=32) vs adaptive over
+  // the sharded configuration — the lock-free fast path's win over per-op
+  // locking, and adaptation's win over a fixed K.
   std::printf("\nthread cache (%zu shards, random sizes, K=32)\n", Cpus);
   diehard::bench::printRule();
-  std::printf("%8s  %14s  %13s  %8s\n", "threads", "cache-off ops/s",
-              "cache-on ops/s", "ratio");
+  std::printf("%8s  %14s  %13s  %13s  %8s\n", "threads", "cache-off ops/s",
+              "cache-on ops/s", "adaptive ops/s", "on/off");
   diehard::bench::printRule();
 
   const RunConfig CacheOff{Cpus, true, false, 0};
   const RunConfig CacheOn{Cpus, true, false, 32};
-  double OffAt8 = 0, OnAt8 = 0;
+  const RunConfig CacheAdaptive{Cpus, true, false, 32, true};
+  double OffAt8 = 0, OnAt8 = 0, AdaptiveAt8 = 0;
   for (int Threads : ThreadCounts) {
     double Off = measure(CacheOff, Threads, OpsPerThread);
     double On = measure(CacheOn, Threads, OpsPerThread);
+    double Adp = measure(CacheAdaptive, Threads, OpsPerThread);
     recordJson("tcache", "cache_off", Threads, Off);
     recordJson("tcache", "cache_on", Threads, On);
-    std::printf("%8d  %14.0f  %13.0f  %7.2fx\n", Threads, Off, On,
-                On / Off);
+    recordJson("tcache", "cache_adaptive", Threads, Adp);
+    std::printf("%8d  %14.0f  %13.0f  %13.0f  %7.2fx\n", Threads, Off, On,
+                Adp, On / Off);
     if (Threads == 8) {
       OffAt8 = Off;
       OnAt8 = On;
+      AdaptiveAt8 = Adp;
     }
   }
   diehard::bench::printRule();
   std::printf("thread cache on vs off at 8 threads: %.2fx\n",
               OnAt8 / OffAt8);
+  std::printf("adaptive vs fixed K at 8 threads: %.2fx\n",
+              AdaptiveAt8 / OnAt8);
 
   // Machine-readable trailer for the perf trajectory.
   std::printf("\nJSON: {\"bench\":\"mt_scaling\",\"ops_per_thread\":%ld,"

@@ -110,6 +110,35 @@ size_t DieHardHeap::deallocateBatch(int Class, void *const *Ptrs,
   return Partitions[Class].deallocateBatch(Ptrs, Count);
 }
 
+void DieHardHeap::remoteFree(int Class, void *Ptr) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  Partitions[Class].remoteFree(Ptr);
+}
+
+size_t DieHardHeap::drainRemoteFrees(int Class) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  return Partitions[Class].drainRemoteFrees();
+}
+
+void addPartitionStats(DieHardStats &Total, const RandomizedPartition &P) {
+  const PartitionStats &PS = P.stats();
+  Total.Allocations += PS.Allocations;
+  Total.Frees += PS.Frees;
+  Total.FailedAllocations += PS.FailedAllocations;
+  Total.IgnoredFrees += PS.IgnoredFrees;
+  Total.Probes += PS.Probes;
+  Total.ProbeFallbacks += PS.ProbeFallbacks;
+  Total.RemoteFrees += P.remoteFrees();
+  Total.SidecarDrains += PS.SidecarDrains;
+  // Push-time rejects are double/invalid frees the sidecar refused; they
+  // never reach a partition's IgnoredFrees counter, so fold them here.
+  Total.IgnoredFrees += P.remoteFreeRejects();
+  // In-flight (undrained) sidecar entries fold into Frees exactly like
+  // the sharded layer's parked deferred-buffer frees: the user's free
+  // already happened, only materialization is pending.
+  Total.Frees += P.pendingRemoteFrees();
+}
+
 int DieHardHeap::partitionIndexOf(const void *Ptr) const {
   if (!Heap.contains(Ptr))
     return -1;
@@ -199,15 +228,8 @@ size_t DieHardHeap::bytesLive() const {
 
 DieHardStats DieHardHeap::stats() const {
   DieHardStats S;
-  for (const RandomizedPartition &P : Partitions) {
-    const PartitionStats &PS = P.stats();
-    S.Allocations += PS.Allocations;
-    S.Frees += PS.Frees;
-    S.FailedAllocations += PS.FailedAllocations;
-    S.IgnoredFrees += PS.IgnoredFrees;
-    S.Probes += PS.Probes;
-    S.ProbeFallbacks += PS.ProbeFallbacks;
-  }
+  for (const RandomizedPartition &P : Partitions)
+    addPartitionStats(S, P);
   S.LargeAllocations = LargeAllocationCount;
   S.LargeFrees = LargeFreeCount;
   S.FailedAllocations += LargeFailedCount;

@@ -81,7 +81,14 @@ struct DieHardOptions {
 /// call.
 struct DieHardStats {
   uint64_t Allocations = 0;       ///< Successful small allocations.
-  uint64_t Frees = 0;             ///< Successful small frees.
+  /// Successful small frees. NOT monotonic while frees are in flight:
+  /// aggregations count parked deferred-buffer entries and undrained
+  /// sidecar pushes as Frees (the user's free already happened), and an
+  /// in-flight entry that fails validation when it materializes is
+  /// reclassified to IgnoredFrees — so sampling Frees as a monotonic
+  /// event counter can see a small negative delta across a flush/drain.
+  /// Exact at quiescence.
+  uint64_t Frees = 0;
   uint64_t LargeAllocations = 0;  ///< Successful large allocations.
   uint64_t LargeFrees = 0;        ///< Successful large frees.
   uint64_t FailedAllocations = 0; ///< Requests refused (partition full).
@@ -96,7 +103,21 @@ struct DieHardStats {
   uint64_t CachedSlots = 0;   ///< Slots currently claimed into caches.
   uint64_t CacheRefills = 0;  ///< Batch refills taken from partitions.
   uint64_t CacheFlushes = 0;  ///< Deferred-free / full cache flushes.
+
+  // Remote-free sidecar (pushed only by the sharded layer's cross-shard
+  // flush; always 0 for a lone heap).
+  uint64_t RemoteFrees = 0;   ///< Lock-free sidecar pushes accepted.
+  uint64_t SidecarDrains = 0; ///< Non-empty owner-side sidecar drains.
 };
+
+/// Folds one partition's counters into \p Total: the PartitionStats
+/// fields, the sidecar gauges (push-time rejects into IgnoredFrees), and
+/// the in-flight (undrained) sidecar entries into Frees — those are frees
+/// the user already performed, so Allocations == Frees holds at
+/// quiescence with entries still parked. The ONE fold every aggregation
+/// path (lone heap, sharded locked stats, sharded lock-free approx) goes
+/// through, so the layers' books cannot silently diverge.
+void addPartitionStats(DieHardStats &Total, const RandomizedPartition &P);
 
 /// The randomized DieHard memory manager.
 ///
@@ -187,6 +208,17 @@ public:
   /// Validated batch free of \p Count pointers, all inside class \p Class's
   /// partition, under one lock acquisition. \returns the number freed.
   size_t deallocateBatch(int Class, void *const *Ptrs, size_t Count);
+
+  /// Lock-free cross-thread free: pushes \p Ptr (inside class \p Class's
+  /// partition) onto that partition's remote-free sidecar without taking
+  /// any lock (see RandomizedPartition::remoteFree). Callable from any
+  /// thread concurrently with lock-holding operations on the partition.
+  void remoteFree(int Class, void *Ptr);
+
+  /// Drains class \p Class's remote-free sidecar through the validated
+  /// free path. Callers hold the class's partition lock in concurrent
+  /// configurations. \returns the number of entries processed.
+  size_t drainRemoteFrees(int Class);
 
   /// Read-only access to partition \p Class: per-partition stats, fill
   /// gauges, and the live-object walk. The lock-free gauges (live(),

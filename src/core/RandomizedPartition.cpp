@@ -61,11 +61,45 @@ bool RandomizedPartition::init(void *RegionBase, size_t ObjectBytes,
   FillOnFree = FillFree;
   Rand.setSeed(Seed);
   IsAllocated.reset(NumSlots);
+  // The sidecar link array: one word per slot, demand-zero (0 = not
+  // pending), committed only for slots remote frees actually touch. The
+  // slot-in-a-uint32 encoding needs two sentinel values; refuse (in
+  // release builds too) a partition whose slot indices would not fit —
+  // the probe discipline's nextBounded() casts share the same limit, so
+  // such a partition was never usable anyway.
+  if (NumSlots >= SidecarTail - 1)
+    return false;
+  SidecarHead.store(0, std::memory_order_relaxed);
+  RemotePushes.store(0, std::memory_order_relaxed);
+  RemoteRejects.store(0, std::memory_order_relaxed);
+  RemoteDrained.store(0, std::memory_order_relaxed);
+  if (!SidecarLinks.map(NumSlots * sizeof(uint32_t)))
+    return false;
   return IsAllocated.size() == NumSlots;
 }
 
 void RandomizedPartition::randomFill(void *Ptr, size_t Bytes) {
   randomFillWords(Rand, Ptr, Bytes);
+}
+
+size_t RandomizedPartition::claimCleanSlot(uint64_t &Probes,
+                                           uint64_t &Fallbacks) {
+  for (;;) {
+    size_t Index =
+        claimRandomSlot(IsAllocated, Rand, Slots, Probes, Fallbacks);
+    if (Index == Slots)
+      return Index;
+    // Reject a slot with an in-flight sidecar entry: that push is a stale
+    // (double) free of the slot's previous life, and handing the slot out
+    // now would let the next drain free the new occupant. Give the bit
+    // back, consume the stale entry (bit clear -> counted IgnoredFree),
+    // and probe again. One relaxed load on the common (clean) path.
+    std::atomic_ref<uint32_t> Link(sidecarLink(Index));
+    if (Link.load(std::memory_order_relaxed) == 0)
+      return Index;
+    IsAllocated.tryClear(Index);
+    drainRemoteFrees();
+  }
 }
 
 void *RandomizedPartition::allocate() {
@@ -75,8 +109,7 @@ void *RandomizedPartition::allocate() {
     return nullptr;
   }
   uint64_t Probes = 0, Fallbacks = 0;
-  size_t Index =
-      claimRandomSlot(IsAllocated, Rand, Slots, Probes, Fallbacks);
+  size_t Index = claimCleanSlot(Probes, Fallbacks);
   Stats.Probes += Probes;
   Stats.ProbeFallbacks += Fallbacks;
   if (Index == Slots) {
@@ -106,8 +139,7 @@ size_t RandomizedPartition::claimRandomSlots(void **Out, size_t MaxCount) {
   uint64_t Probes = 0, Fallbacks = 0;
   size_t N = 0;
   while (N < Want) {
-    size_t Index = claimRandomSlot(IsAllocated, Rand, Slots, Probes,
-                                   Fallbacks);
+    size_t Index = claimCleanSlot(Probes, Fallbacks);
     if (Index == Slots)
       break; // Unreachable below the threshold; stay defensive.
     Out[N++] = Base + Index * ObjectSize;
@@ -154,6 +186,75 @@ size_t RandomizedPartition::deallocateBatch(void *const *Ptrs,
     if (deallocate(Ptrs[I]))
       ++Freed;
   return Freed;
+}
+
+void RandomizedPartition::remoteFree(void *Ptr) {
+  assert(contains(Ptr) && "caller routes only pointers in this partition");
+  size_t Offset = static_cast<size_t>(static_cast<char *>(Ptr) - Base);
+  if (Offset % ObjectSize != 0) {
+    // Validity check 1 (a correct slot offset) needs only immutable
+    // geometry, so the invalid free is detected right here, lock-free.
+    RemoteRejects.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto Slot = static_cast<uint32_t>(Offset / ObjectSize);
+
+  // Claim the slot's link word. Failure means the slot is already pending:
+  // a second free of the same object raced in before the owner drained the
+  // first — a double free, detected at push time. (The claim is also what
+  // makes concurrent double frees unable to corrupt the chain.)
+  std::atomic_ref<uint32_t> Link(sidecarLink(Slot));
+  uint32_t Expected = 0;
+  if (!Link.compare_exchange_strong(Expected, SidecarTail,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+    RemoteRejects.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Treiber push: point the claimed link at the current chain and swing
+  // the head. The release CAS publishes the link word (and the pusher's
+  // prior writes) to the draining owner's acquire exchange.
+  uint32_t Head = SidecarHead.load(std::memory_order_relaxed);
+  do {
+    Link.store(Head == 0 ? SidecarTail : Head, std::memory_order_relaxed);
+  } while (!SidecarHead.compare_exchange_weak(Head, Slot + 1,
+                                              std::memory_order_release,
+                                              std::memory_order_relaxed));
+  RemotePushes.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t RandomizedPartition::drainRemoteFrees() {
+  if (SidecarHead.load(std::memory_order_relaxed) == 0)
+    return 0; // Cheap empty check: one relaxed load on the common path.
+  uint32_t Head = SidecarHead.exchange(0, std::memory_order_acquire);
+  size_t N = 0;
+  while (Head != 0) {
+    uint32_t Slot = Head - 1;
+    std::atomic_ref<uint32_t> Link(sidecarLink(Slot));
+    uint32_t Next = Link.load(std::memory_order_relaxed);
+    // Validity checks 2 and 3 (live slot, not already freed) run exactly
+    // as for a locked free — detection deferred to drain time, not lost.
+    deallocate(Base + static_cast<size_t>(Slot) * ObjectSize);
+    // Reopen the link only AFTER the free materializes: a double free
+    // racing this drain then fails its claim and is rejected at push
+    // time, instead of entering the sidecar as a pending entry for a
+    // slot this lock hold may immediately reallocate — which would make
+    // the next drain free the slot's NEXT occupant. A push landing after
+    // the reopen finds the bit already clear and is rejected by the next
+    // drain's validation; claimCleanSlot() refuses to hand out any slot
+    // whose link is still claimed, so a stale push cannot alias a
+    // reallocation. (What remains is the ambiguity every allocator has:
+    // a free of an address whose slot was already freed, drained AND
+    // re-handed-out is indistinguishable from a valid free of the new
+    // object.)
+    Link.store(0, std::memory_order_release);
+    ++N;
+    Head = Next == SidecarTail ? 0 : Next;
+  }
+  RemoteDrained.fetch_add(N, std::memory_order_relaxed);
+  ++Stats.SidecarDrains;
+  return N;
 }
 
 bool RandomizedPartition::deallocate(void *Ptr) {

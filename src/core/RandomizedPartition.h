@@ -27,12 +27,24 @@
 /// gauges are relaxed atomics so overflow routing and stats reporting may
 /// *read* them without taking the partition's lock.
 ///
+/// The one concurrent structure a partition does own is the remote-free
+/// sidecar: a lock-free MPSC intrusive stack of slot indices (Treiber push
+/// from any thread, owner-side drain under the partition lock) that lets a
+/// cross-thread free hand a slot back without ever touching the owner's
+/// lock. Pushed slots stay bit-set and counted in the live gauge until the
+/// owner drains them, so the 1/M fill invariant holds with frees in flight,
+/// and the drain runs the ordinary validated deallocate() per slot, so
+/// double-/invalid-free detection is preserved — it just happens at drain
+/// time (or at push time, when the same slot is pushed twice before a
+/// drain).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DIEHARD_CORE_RANDOMIZEDPARTITION_H
 #define DIEHARD_CORE_RANDOMIZEDPARTITION_H
 
 #include "support/Bitmap.h"
+#include "support/MmapRegion.h"
 #include "support/Rng.h"
 
 #include <atomic>
@@ -90,6 +102,7 @@ struct PartitionStats {
   RelaxedCounter ProbeFallbacks;    ///< Times the linear fallback scan ran.
   RelaxedCounter ClaimedSlots;      ///< Slots handed to thread caches.
   RelaxedCounter ReturnedSlots;     ///< Unused cached slots handed back.
+  RelaxedCounter SidecarDrains;     ///< Non-empty remote-free drains.
 };
 
 /// Claims a free slot in \p Bits: up to 64 uniform random probes, then a
@@ -155,6 +168,51 @@ public:
   /// of the \p Count pointers (all of which must lie in this partition's
   /// region). \returns the number of objects actually freed.
   size_t deallocateBatch(void *const *Ptrs, size_t Count);
+
+  /// Lock-free cross-thread free: pushes \p Ptr's slot onto the partition's
+  /// MPSC remote-free sidecar without taking any lock. The slot stays
+  /// bit-set and counted live until the owner drains it, so the 1/M bound
+  /// is unaffected by frees in flight. Misaligned pointers and slots
+  /// already pending in the sidecar (a double free racing a drain) are
+  /// rejected and counted immediately; everything else is validated by the
+  /// ordinary deallocate() when the owner drains. Callable from any thread,
+  /// with or without the partition lock. \p Ptr must lie inside this
+  /// partition's region.
+  void remoteFree(void *Ptr);
+
+  /// Owner-side drain of the remote-free sidecar: detaches the pushed chain
+  /// in one atomic exchange and runs the validated deallocate() for every
+  /// entry. Callers hold the partition lock in concurrent configurations
+  /// (any lock holder may drain — "owner" means the lock, not a thread).
+  /// \returns the number of entries processed (freed or rejected as
+  /// double/invalid frees).
+  size_t drainRemoteFrees();
+
+  /// Successful sidecar pushes so far. Lock-free gauge.
+  uint64_t remoteFrees() const {
+    return RemotePushes.load(std::memory_order_relaxed);
+  }
+
+  /// Pushes rejected without entering the sidecar (misaligned offset, or
+  /// the slot was already pending — a double free caught at push time).
+  /// Lock-free gauge.
+  uint64_t remoteFreeRejects() const {
+    return RemoteRejects.load(std::memory_order_relaxed);
+  }
+
+  /// Pushes not yet drained. Lock-free gauge; clamped against transiently
+  /// reordered counter reads.
+  uint64_t pendingRemoteFrees() const {
+    uint64_t P = RemotePushes.load(std::memory_order_relaxed);
+    uint64_t D = RemoteDrained.load(std::memory_order_relaxed);
+    return P > D ? P - D : 0;
+  }
+
+  /// True if the sidecar has a pushed (undrained) chain. One relaxed load —
+  /// cheap enough for allocation-path gauge pre-checks.
+  bool hasPendingRemoteFrees() const {
+    return SidecarHead.load(std::memory_order_relaxed) != 0;
+  }
 
   /// Usable (rounded) size of the live object containing \p Ptr — interior
   /// pointers allowed — or 0 if the slot is not live.
@@ -223,6 +281,28 @@ private:
   /// 32-bit units as in Figure 2 (object sizes are multiples of 8).
   void randomFill(void *Ptr, size_t Bytes);
 
+  /// claimRandomSlot, then reject-and-reprobe any slot that still has an
+  /// in-flight sidecar entry (a stale double free of its previous life),
+  /// draining the sidecar so the stale entry is consumed harmlessly
+  /// before the slot can be reused. \returns the slot index, or Slots.
+  size_t claimCleanSlot(uint64_t &Probes, uint64_t &Fallbacks);
+
+  // --- Remote-free sidecar encoding ---------------------------------------
+  // SidecarHead: 0 = empty, else slot + 1 of the most recent push.
+  // Link word of slot s (in SidecarLinks): 0 = s is not in the sidecar;
+  // SidecarTail = s is pending and ends the chain; else next slot + 1.
+  // A push claims its link word with a CAS from 0 — the claim doubles as
+  // push-time double-free detection — then splices onto the head; the drain
+  // detaches the whole chain with one exchange and walks it. Links live in
+  // their own demand-zero mapping (4 bytes per slot, committed only for
+  // slots that actually see remote frees), accessed through atomic_ref.
+  static constexpr uint32_t SidecarTail = UINT32_MAX;
+
+  /// The link word of slot \p Slot.
+  uint32_t &sidecarLink(size_t Slot) const {
+    return static_cast<uint32_t *>(SidecarLinks.base())[Slot];
+  }
+
   char *Base = nullptr;
   size_t ObjectSize = 0;
   size_t Slots = 0;
@@ -235,6 +315,15 @@ private:
   std::atomic<size_t> InUse{0};
   std::atomic<size_t> LiveBytes{0};
   PartitionStats Stats;
+
+  /// Remote-free sidecar state. The link array and head are mutated
+  /// lock-free by pushers; RemoteDrained and the drain walk are owner-only
+  /// (under the partition lock), but every counter is lock-free readable.
+  MmapRegion SidecarLinks;
+  std::atomic<uint32_t> SidecarHead{0};
+  std::atomic<uint64_t> RemotePushes{0};
+  std::atomic<uint64_t> RemoteRejects{0};
+  std::atomic<uint64_t> RemoteDrained{0};
 };
 
 } // namespace diehard

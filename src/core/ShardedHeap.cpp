@@ -112,6 +112,20 @@ ShardedHeap::ShardedHeap(const ShardedHeapOptions &Options) : Opts(Options) {
     if (D > ThreadCache::MaxDeferred)
       D = ThreadCache::MaxDeferred;
     CacheDeferredCap = static_cast<uint32_t>(D);
+    // Adaptive sizing moves each cache's per-class K within
+    // [K/4, 8K] (clamped to [2, MaxSlotsPerClass]); buffers are sized for
+    // the cap so growth never needs a remap. Fixed mode pins cap == K.
+    CacheAdaptive = Opts.ThreadCacheAdaptive;
+    if (CacheAdaptive) {
+      size_t Cap = 8 * K;
+      if (Cap > ThreadCache::MaxSlotsPerClass)
+        Cap = ThreadCache::MaxSlotsPerClass;
+      CacheCapPerClass = static_cast<uint32_t>(Cap);
+      CacheMinK = static_cast<uint32_t>(K / 4 < 2 ? 2 : K / 4);
+    } else {
+      CacheCapPerClass = CacheSlotsPerClass;
+      CacheMinK = CacheSlotsPerClass;
+    }
   }
 }
 
@@ -154,6 +168,11 @@ uint32_t ShardedHeap::homeShard() const {
 void *ShardedHeap::allocateSmallIn(uint32_t Index, int Class, size_t Size) {
   Shard &S = *Shards[Index];
   std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+  // Opportunistic sidecar drain — the allocate-slow-path boundary. Free on
+  // the common path (one relaxed load when empty), and it means a
+  // partition driven to its 1/M bound recovers capacity from in-flight
+  // cross-shard frees before refusing work.
+  S.Heap.drainRemoteFrees(Class);
   return S.Heap.allocate(Size);
 }
 
@@ -193,7 +212,10 @@ void *ShardedHeap::allocate(size_t Size) {
   void *Ptr = nullptr;
   bool HomeCounted = false;
   const RandomizedPartition &HomePart = Shards[Home]->Heap.partition(Class);
-  if (!Route || HomePart.live() < HomePart.threshold()) {
+  if (!Route || HomePart.live() < HomePart.threshold() ||
+      HomePart.hasPendingRemoteFrees()) {
+    // (A saturated gauge with sidecar entries pending still takes the
+    // locked attempt: the drain inside may recover capacity.)
     Ptr = allocateSmallIn(Home, Class, Size);
     HomeCounted = Ptr == nullptr;
   }
@@ -231,8 +253,14 @@ void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
     if (I == Home)
       continue;
     const RandomizedPartition &P = Shards[I]->Heap.partition(Class);
-    if (P.live() < P.threshold())
-      Candidates[N++] = {P.live(), I};
+    size_t Live = P.live();
+    // Rank by live net of undrained sidecar entries: those slots free the
+    // moment the candidate's lock is taken (allocateSmallIn drains first),
+    // so a gauge-saturated partition with pending frees is still viable.
+    uint64_t Pending = P.pendingRemoteFrees();
+    Live = Pending < Live ? Live - static_cast<size_t>(Pending) : 0;
+    if (Live < P.threshold())
+      Candidates[N++] = {Live, I};
   }
   std::sort(Candidates, Candidates + N,
             [](const Candidate &A, const Candidate &B) {
@@ -255,7 +283,8 @@ ThreadCache *ShardedHeap::cacheForThread() {
   if (TC != nullptr)
     return TC;
   return threadCacheInstall(*this, Caches, Id, homeShard(),
-                            CacheSlotsPerClass, CacheDeferredCap);
+                            CacheCapPerClass, CacheSlotsPerClass,
+                            CacheDeferredCap);
 }
 
 void *ShardedHeap::refillAndPop(ThreadCache &TC, int Class) {
@@ -265,23 +294,79 @@ void *ShardedHeap::refillAndPop(ThreadCache &TC, int Class) {
   // round-trip — otherwise a saturated class would re-serialize every
   // same-class thread on exactly the mutex this tier exists to avoid. A
   // stale read is harmless: claimCachedSlots re-checks under the lock.
+  // Pending sidecar entries override the skip: the drain below may
+  // recover capacity from in-flight cross-shard frees.
   const RandomizedPartition &Part = S.Heap.partition(Class);
-  if (Part.live() >= Part.threshold())
+  if (Part.live() >= Part.threshold() && !Part.hasPendingRemoteFrees()) {
+    // Saturation is still demand: mark the class active so the adaptive
+    // idle sweep does not halve a hot-but-capacity-starved class's K to
+    // the floor (growth itself waits for a successful refill — claims
+    // clip at the threshold, so growing now would be pointless).
+    if (CacheAdaptive)
+      TC.noteRefill(Class);
     return nullptr;
+  }
   void *Batch[ThreadCache::MaxSlotsPerClass];
   size_t N;
   {
     std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
-    N = S.Heap.claimCachedSlots(Class, Batch, TC.slotsPerClass());
+    // The refill boundary is a sidecar drain point: the lock is held
+    // anyway, and draining first lets the claim below reuse slots that
+    // cross-shard frees just returned.
+    S.Heap.drainRemoteFrees(Class);
+    N = S.Heap.claimCachedSlots(Class, Batch, TC.targetK(Class));
   }
-  if (N == 0)
+  if (N == 0) {
+    if (CacheAdaptive)
+      TC.noteRefill(Class); // As above: saturated, not idle.
     return nullptr; // Home partition at its 1/M bound.
+  }
   CacheRefillCount.fetch_add(1, std::memory_order_relaxed);
   // Refill boundaries double as fold points, keeping the per-pop fast path
   // free of shared atomics while the aggregates stay at most K behind.
   FoldedPops.fetch_add(TC.takePops(), std::memory_order_relaxed);
   TC.put(Class, Batch, N);
-  return TC.pop(Class);
+  void *Ptr = TC.pop(Class);
+  if (CacheAdaptive)
+    adaptAfterRefill(TC, Class);
+  return Ptr;
+}
+
+void ShardedHeap::adaptAfterRefill(ThreadCache &TC, int Class) {
+  // A second refill of the same class within one sweep window marks it
+  // hot: double its batch size toward the cap, halving the class's lock
+  // round-trips per allocation from here on. Growth is geometric, so a
+  // class at the base K reaches the cap within a few hot windows.
+  if (TC.noteRefill(Class) >= CacheGrowRefills) {
+    uint32_t K = TC.targetK(Class) * 2;
+    TC.setTargetK(Class, K < CacheCapPerClass ? K : CacheCapPerClass);
+  }
+  maybeSweepCache(TC);
+}
+
+void ShardedHeap::maybeSweepCache(ThreadCache &TC) {
+  if (!TC.tickSlowPath(CacheSweepPeriod))
+    return;
+  // The closing window's verdict, class by class: classes with no refill
+  // shrink (halve toward the floor) and hand any cached surplus above the
+  // new K back to their home partition, releasing idle claims against the
+  // 1/M bound. reclaimSlots undoes the claim exactly — no Frees counted,
+  // placement statistics untouched.
+  Shard &S = *Shards[TC.homeShard()];
+  void *Surplus[ThreadCache::MaxSlotsPerClass];
+  for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+    if (TC.takeRefillMark(C) != 0)
+      continue; // Active this window; growth already handled it.
+    uint32_t K = TC.targetK(C) / 2;
+    uint32_t NewK = K > CacheMinK ? K : CacheMinK;
+    TC.setTargetK(C, NewK);
+    size_t N = TC.takeSurplus(C, Surplus, NewK);
+    if (N != 0) {
+      std::lock_guard<std::mutex> Guard(partitionLock(S, C));
+      S.Heap.drainRemoteFrees(C);
+      S.Heap.reclaimCachedSlots(C, Surplus, N);
+    }
+  }
 }
 
 void ShardedHeap::flushDeferred(ThreadCache &TC) {
@@ -289,9 +374,13 @@ void ShardedHeap::flushDeferred(ThreadCache &TC) {
   size_t N = TC.drainDeferred(Buf);
   if (N == 0)
     return;
-  // Return the frees grouped by owning partition, one lock acquisition per
-  // group. The common case — every free owned by the home shard and a
-  // couple of hot classes — makes this a handful of locked batches.
+  // Return the frees grouped by owning partition. Home-shard groups go
+  // back as one locked batch — those locks are the cheap, rarely-contended
+  // ones, and holding them drains the sidecar for free. Groups owned by
+  // OTHER shards never touch the remote mutex: each pointer is pushed onto
+  // the owning partition's lock-free sidecar, to be materialized by
+  // whoever holds that lock next. Cross-shard flushing thus contends with
+  // nobody.
   void *Group[ThreadCache::MaxDeferred];
   size_t Remaining = N;
   while (Remaining != 0) {
@@ -305,13 +394,19 @@ void ShardedHeap::flushDeferred(ThreadCache &TC) {
         Buf[Kept++] = Buf[I];
     }
     Shard &S = *Shards[Owner];
-    {
+    if (Owner == TC.homeShard()) {
       std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
+      S.Heap.drainRemoteFrees(Class);
       S.Heap.deallocateBatch(Class, Group, GroupSize);
+    } else {
+      for (size_t I = 0; I < GroupSize; ++I)
+        S.Heap.remoteFree(Class, Group[I]);
     }
     Remaining = Kept;
   }
   CacheFlushCount.fetch_add(1, std::memory_order_relaxed);
+  if (CacheAdaptive)
+    maybeSweepCache(TC);
 }
 
 void ShardedHeap::flushCacheFully(ThreadCache &TC) {
@@ -323,6 +418,7 @@ void ShardedHeap::flushCacheFully(ThreadCache &TC) {
     if (N == 0)
       continue;
     std::lock_guard<std::mutex> Guard(partitionLock(S, C));
+    S.Heap.drainRemoteFrees(C);
     S.Heap.reclaimCachedSlots(C, Slots, N);
   }
   FoldedPops.fetch_add(TC.takePops(), std::memory_order_relaxed);
@@ -335,6 +431,42 @@ void ShardedHeap::flushThreadCache() {
   ThreadCache *TC = threadCacheLookup(Id);
   if (TC != nullptr)
     flushCacheFully(*TC);
+}
+
+size_t ShardedHeap::drainRemoteFrees() {
+  size_t Drained = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+      if (!S->Heap.partition(C).hasPendingRemoteFrees())
+        continue; // Lock-free skip; a push racing past lands next drain.
+      std::lock_guard<std::mutex> Guard(partitionLock(*S, C));
+      Drained += S->Heap.drainRemoteFrees(C);
+    }
+  return Drained;
+}
+
+uint64_t ShardedHeap::remoteFrees() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).remoteFrees();
+  return Total;
+}
+
+uint64_t ShardedHeap::pendingRemoteFrees() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).pendingRemoteFrees();
+  return Total;
+}
+
+size_t ShardedHeap::threadCacheTargetK(int Class) const {
+  if (CacheSlotsPerClass == 0 || Class < 0 ||
+      Class >= DieHardHeap::NumPartitions)
+    return 0;
+  ThreadCache *TC = threadCacheLookup(Id);
+  return TC != nullptr ? TC->targetK(Class) : 0;
 }
 
 void *ShardedHeap::allocateLarge(size_t Size) {
@@ -492,16 +624,6 @@ DieHardStats ShardedHeap::sharedCounterSnapshot() const {
   return Total;
 }
 
-void ShardedHeap::addPartitionStats(DieHardStats &Total,
-                                    const PartitionStats &PS) {
-  Total.Allocations += PS.Allocations;
-  Total.Frees += PS.Frees;
-  Total.FailedAllocations += PS.FailedAllocations;
-  Total.IgnoredFrees += PS.IgnoredFrees;
-  Total.Probes += PS.Probes;
-  Total.ProbeFallbacks += PS.ProbeFallbacks;
-}
-
 DieHardStats ShardedHeap::stats() const {
   // Cache tier first (registry lock taken and released before any
   // partition lock, per the hierarchy). Pops not yet folded and deferred
@@ -518,7 +640,7 @@ DieHardStats ShardedHeap::stats() const {
     // thread may take several locks of one shard; see the lock hierarchy).
     for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
       std::lock_guard<std::mutex> Guard(partitionLock(*S, C));
-      addPartitionStats(Total, S->Heap.partition(C).stats());
+      addPartitionStats(Total, S->Heap.partition(C));
     }
     // A shard heap's own large path is never exercised behind this layer
     // (large requests use the shared path above, and only in-reservation
@@ -538,10 +660,10 @@ DieHardStats ShardedHeap::statsApprox() const {
   for (const std::unique_ptr<Shard> &S : Shards) {
     for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
       // Relaxed-gauge reads only: no partition lock, no registry lock.
-      const PartitionStats &PS = S->Heap.partition(C).stats();
-      addPartitionStats(Total, PS);
-      Claimed += PS.ClaimedSlots;
-      Returned += PS.ReturnedSlots;
+      const RandomizedPartition &P = S->Heap.partition(C);
+      addPartitionStats(Total, P);
+      Claimed += P.stats().ClaimedSlots;
+      Returned += P.stats().ReturnedSlots;
     }
   }
   // Cached = claimed - returned - popped, using the folded pop count as the

@@ -56,12 +56,35 @@
 /// Thread-cache tier (ThreadCacheSlots > 0 / DIEHARD_TCACHE): each thread
 /// fronts its home shard with a per-size-class buffer of K pre-claimed,
 /// uniformly chosen slots (one locked batch claim per refill) and a bounded
-/// deferred-free buffer flushed back in owner-grouped locked batches, so
-/// the steady-state malloc/free takes no lock at all. Cached slots stay
+/// deferred-free buffer flushed back in owner-grouped batches, so the
+/// steady-state malloc/free takes no lock at all. Cached slots stay
 /// counted against the owning partition's 1/M bound; refills draw from
 /// exactly allocate()'s distribution, so the paper's invariants survive
 /// unchanged (see ThreadCache.h). ShardedHeap owns cache registration,
 /// refill/flush, thread-exit flush and the cache-aware stats.
+///
+/// Remote-free sidecars: when a deferred-free flush reaches a group owned
+/// by a shard other than the flushing thread's home, the group is NOT
+/// returned under the remote partition's lock. Each pointer is pushed onto
+/// the owning partition's lock-free MPSC sidecar instead
+/// (RandomizedPartition::remoteFree), so a cross-shard flush performs zero
+/// acquisitions of any remote mutex. Whoever next takes that partition's
+/// lock for its own reasons — a refill, a locked allocation, a same-shard
+/// flush batch, an explicit drainRemoteFrees() — drains the sidecar
+/// through the ordinary validated free path. Same-shard groups keep the
+/// locked batch (the home locks are the cheap, mostly-uncontended ones).
+///
+/// Adaptive cache sizing (ThreadCacheAdaptive / DIEHARD_TCACHE_ADAPT):
+/// each cache's per-class batch size K starts at ThreadCacheSlots and
+/// adapts to the thread's traffic — repeated refills of a class within one
+/// sweep window double its K toward a cap (8x the base, bounded by
+/// ThreadCache::MaxSlotsPerClass); classes idle across a whole window have
+/// K halved (floor: a quarter of the base) and any cached surplus above
+/// the new K is returned to the home partition via reclaimSlots, shrinking
+/// the cache's claim against the 1/M bound. Adaptation happens only on
+/// slow paths (refills and deferred flushes); pops and pushes are
+/// untouched. Placement stays uniform by construction: adaptation only
+/// changes *how many* slots a refill claims, never how they are chosen.
 ///
 /// Lock ordering: cache registry lock -> LargeLock -> AddressRangeMap lock
 /// -> partition lock (the registry lock is only ever combined with
@@ -71,12 +94,14 @@
 /// the stats()/aggregation paths may hold several partition locks *of the
 /// same shard* acquired in ascending class order (never locks of two
 /// different shards). Overflow routing takes sibling partition locks only
-/// after releasing the home partition's lock. Nothing that runs under
-/// LargeLock allocates through the global allocator — the large-object
-/// validity table is mmap-backed precisely so that, under the malloc shim,
-/// the locked large path can never re-enter itself. (The registry's map
-/// nodes are small and are therefore served by a shard, a lock this path is
-/// allowed to take.)
+/// after releasing the home partition's lock. Sidecar pushes and the
+/// pending gauges are lock-free and sit outside the hierarchy entirely;
+/// sidecar drains happen only under the drained partition's lock. Nothing
+/// that runs under LargeLock allocates through the global allocator — the
+/// large-object validity table is mmap-backed precisely so that, under the
+/// malloc shim, the locked large path can never re-enter itself. (The
+/// registry's map nodes are small and are therefore served by a shard, a
+/// lock this path is allowed to take.)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -133,6 +158,12 @@ struct ShardedHeapOptions {
   /// [ThreadCache minimums, ThreadCache::Max*]). The shim maps
   /// DIEHARD_TCACHE onto this.
   size_t ThreadCacheSlots = 0;
+
+  /// Adapt each cache's per-class K to the owning thread's traffic: grow
+  /// toward a cap on frequent refills, shrink and return surplus slots on
+  /// idle (see the file comment). No effect with ThreadCacheSlots == 0.
+  /// The shim maps DIEHARD_TCACHE_ADAPT onto this.
+  bool ThreadCacheAdaptive = false;
 };
 
 /// Thread-scalable sharded DieHard heap.
@@ -151,6 +182,15 @@ public:
   /// loaded first) before giving up. Bounds the worst-case work of an
   /// allocation at saturation.
   static constexpr size_t MaxOverflowProbes = 8;
+
+  /// Adaptive cache sizing: a class must refill this many times within one
+  /// sweep window before its K doubles (the first refill after a quiet
+  /// window is free; the second marks the class hot).
+  static constexpr uint32_t CacheGrowRefills = 2;
+
+  /// Adaptive cache sizing: one idle-class shrink sweep per this many
+  /// slow-path events (refills + deferred flushes) of a cache.
+  static constexpr uint32_t CacheSweepPeriod = 32;
 
   /// Creates the shards per \p Options. As with DieHardHeap, a reservation
   /// failure leaves the heap unusable rather than throwing: isValid() turns
@@ -238,6 +278,26 @@ public:
   /// are reclaimed. The cache stays installed (and refills on next use).
   void flushThreadCache();
 
+  /// Drains every partition's remote-free sidecar (one partition lock at a
+  /// time), materializing all in-flight cross-shard frees. Allocation
+  /// paths drain opportunistically, so this is only needed to force
+  /// quiescence — tests, teardown audits, the stats dump. \returns the
+  /// number of entries drained.
+  size_t drainRemoteFrees();
+
+  /// Sidecar pushes accepted across all partitions. Lock-free read.
+  uint64_t remoteFrees() const;
+
+  /// Sidecar pushes not yet drained, across all partitions. Lock-free.
+  uint64_t pendingRemoteFrees() const;
+
+  /// The calling thread's current adaptive batch size K for size class
+  /// \p Class — ThreadCacheSlots until adaptation moves it — or 0 when the
+  /// cache tier is off, \p Class is out of range, or this thread has no
+  /// cache installed yet (the query never installs one). The dlsym
+  /// observability hook diehard_tcache_target_k() lands here.
+  size_t threadCacheTargetK(int Class) const;
+
   /// Internal: full flush on behalf of the thread-exit destructor. Called
   /// by threadCacheExitFlush() under the cache registry lock; not part of
   /// the public surface.
@@ -317,11 +377,23 @@ private:
   /// paths).
   ThreadCache *cacheForThread();
 
-  /// Refills \p TC's class-\p Class buffer with one locked batch claim
-  /// from the home partition and pops the first slot. \returns nullptr if
-  /// the home partition is saturated (the caller falls back to the locked
-  /// path, which may route overflow to a sibling).
+  /// Refills \p TC's class-\p Class buffer with one locked batch claim of
+  /// the cache's current K from the home partition (draining the
+  /// partition's sidecar first, since the lock is held anyway) and pops
+  /// the first slot. Runs the adaptive grow/sweep bookkeeping when
+  /// enabled. \returns nullptr if the home partition is saturated (the
+  /// caller falls back to the locked path, which may route overflow to a
+  /// sibling).
   void *refillAndPop(ThreadCache &TC, int Class);
+
+  /// Adaptive sizing, post-refill: marks \p Class hot (doubling its K
+  /// toward the cap on repeated refills) and runs the periodic idle sweep.
+  void adaptAfterRefill(ThreadCache &TC, int Class);
+
+  /// Adaptive sizing: every CacheSweepPeriod slow-path events, halve the K
+  /// of classes with no refill since the last sweep and return any cached
+  /// surplus above the new K to the home partition.
+  void maybeSweepCache(ThreadCache &TC);
 
   /// Returns every deferred free to its owning partition, one locked batch
   /// per (owner shard, class) group.
@@ -335,11 +407,6 @@ private:
   /// (large path, foreign frees, overflow, cache refill/flush counters,
   /// folded pops). Lock-free.
   DieHardStats sharedCounterSnapshot() const;
-
-  /// Folds one partition's counters into \p Total (the fields both
-  /// aggregation paths copy — keep in one place so they cannot diverge).
-  static void addPartitionStats(DieHardStats &Total,
-                                const PartitionStats &PS);
 
   /// Locks class \p Class of shard \p Index and allocates \p Size bytes.
   void *allocateSmallIn(uint32_t Index, int Class, size_t Size);
@@ -391,10 +458,15 @@ private:
   /// cache memos match against.
   uint64_t Id = 0;
 
-  /// Resolved per-class cache capacity K (0 = tier disabled) and deferred
-  /// buffer capacity.
+  /// Resolved per-class cache batch size K (0 = tier disabled) and
+  /// deferred buffer capacity. With adaptive sizing, K is only each
+  /// cache's starting point: per-class targets move within
+  /// [CacheMinK, CacheCapPerClass], and buffers are sized for the cap.
   uint32_t CacheSlotsPerClass = 0;
   uint32_t CacheDeferredCap = 0;
+  bool CacheAdaptive = false;
+  uint32_t CacheMinK = 0;
+  uint32_t CacheCapPerClass = 0;
 
   /// Registry of this heap's live caches (guarded by the process-global
   /// cache registry lock in ThreadCache.cpp).

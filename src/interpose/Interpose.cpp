@@ -35,6 +35,12 @@
 ///                       timing — and under an explicit DIEHARD_SHARDS=1,
 ///                       where bit-identity with a lone DieHardHeap is
 ///                       being enforced.
+///   DIEHARD_TCACHE_ADAPT "1" adapts each cache's per-class K to the
+///                       thread's traffic: frequent refills double K
+///                       toward a cap (8x the base), idle classes halve
+///                       it and return the surplus slots to their
+///                       partition. Off by default; meaningless without
+///                       the thread cache.
 ///   DIEHARD_STATS       "1" dumps a JSON stats line (the lock-free
 ///                       statsApprox() snapshot) at process exit to the
 ///                       process's startup stderr; any other value is
@@ -42,9 +48,12 @@
 ///
 /// Locking: there is no global malloc lock. After initialization the
 /// steady-state malloc/free is a thread-cache array pop/push with no lock
-/// at all (DIEHARD_TCACHE); refills and deferred-free flushes take exactly
-/// one *partition* lock (one size class of one shard) per batch. With the
-/// cache off, every entry point goes straight into ShardedHeap's
+/// at all (DIEHARD_TCACHE); refills and same-shard deferred-free flushes
+/// take exactly one *partition* lock (one size class of one shard) per
+/// batch, and cross-shard flush batches take no remote lock at all — each
+/// pointer is pushed onto the owning partition's lock-free remote-free
+/// sidecar and materialized by the next thread holding that lock anyway.
+/// With the cache off, every entry point goes straight into ShardedHeap's
 /// per-partition locking — the calling thread's home shard for allocation,
 /// the owner of the freed pointer for frees — or the dedicated
 /// large-object lock. The one remaining global mutex is a narrow
@@ -179,13 +188,14 @@ void dumpStatsAtExit() {
   if (H == nullptr || StatsFd < 0)
     return;
   diehard::DieHardStats S = H->statsApprox();
-  char Line[512];
+  char Line[640];
   int N = std::snprintf(
       Line, sizeof(Line),
       "{\"diehard_stats\":{\"allocations\":%llu,\"frees\":%llu,"
       "\"failed\":%llu,\"ignored_frees\":%llu,\"large_allocations\":%llu,"
       "\"large_frees\":%llu,\"overflow\":%llu,\"cached_slots\":%llu,"
-      "\"cache_refills\":%llu,\"cache_flushes\":%llu,\"probes\":%llu}}\n",
+      "\"cache_refills\":%llu,\"cache_flushes\":%llu,"
+      "\"remote_frees\":%llu,\"sidecar_drains\":%llu,\"probes\":%llu}}\n",
       static_cast<unsigned long long>(S.Allocations),
       static_cast<unsigned long long>(S.Frees),
       static_cast<unsigned long long>(S.FailedAllocations),
@@ -196,6 +206,8 @@ void dumpStatsAtExit() {
       static_cast<unsigned long long>(S.CachedSlots),
       static_cast<unsigned long long>(S.CacheRefills),
       static_cast<unsigned long long>(S.CacheFlushes),
+      static_cast<unsigned long long>(S.RemoteFrees),
+      static_cast<unsigned long long>(S.SidecarDrains),
       static_cast<unsigned long long>(S.Probes));
   if (N > 0)
     (void)!::write(StatsFd, Line, static_cast<size_t>(N));
@@ -218,6 +230,7 @@ ShardedHeap *constructHeap() {
   Options.NumShards = envShards(IsReplica);
   Options.OverflowRouting = envFlag("DIEHARD_OVERFLOW", true);
   Options.ThreadCacheSlots = envThreadCache(IsReplica);
+  Options.ThreadCacheAdaptive = envFlag("DIEHARD_TCACHE_ADAPT", false);
   ShardedHeap *H = new (HeapStorage) ShardedHeap(Options);
   ConstructingHeap = false;
   TheHeap.store(H, std::memory_order_release);
@@ -382,6 +395,21 @@ void diehard_flush_thread_cache(void) {
   ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
   if (H != nullptr)
     H->flushThreadCache();
+}
+
+/// Cross-shard frees pushed through the lock-free remote-free sidecars so
+/// far (0 before the heap exists). Lock-free.
+size_t diehard_remote_frees(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->remoteFrees()) : 0;
+}
+
+/// The calling thread's current adaptive batch size K for size class
+/// \p Class (see DIEHARD_TCACHE_ADAPT), or 0 when the cache tier is off,
+/// the class is out of range, or this thread has no cache yet.
+size_t diehard_tcache_target_k(int Class) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? H->threadCacheTargetK(Class) : 0;
 }
 
 } // extern "C"

@@ -373,6 +373,34 @@ TEST(DieHardHeapTest, StressRandomAllocFreeKeepsAccounting) {
   EXPECT_EQ(H.stats().IgnoredFrees, 0u);
 }
 
+TEST(DieHardHeapTest, StatsFoldPendingRemoteFrees) {
+  // An embedder driving the sidecar through DieHardHeap directly gets the
+  // same books as the sharded layer: undrained pushes count as Frees (the
+  // user's free already happened), so Allocations == Frees holds with
+  // entries still parked, and draining moves them without double count.
+  DieHardHeap H(testOptions());
+  int Class = SizeClass::sizeToClass(64);
+  void *A = H.allocate(64);
+  void *B = H.allocate(64);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  H.remoteFree(Class, A);
+  H.remoteFree(Class, B);
+
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.RemoteFrees, 2u);
+  EXPECT_EQ(S.Allocations, 2u);
+  EXPECT_EQ(S.Frees, 2u) << "pending sidecar entries must fold into Frees";
+  EXPECT_EQ(S.SidecarDrains, 0u);
+
+  EXPECT_EQ(H.drainRemoteFrees(Class), 2u);
+  S = H.stats();
+  EXPECT_EQ(S.Frees, 2u);
+  EXPECT_EQ(S.SidecarDrains, 1u);
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+  EXPECT_EQ(H.bytesLive(), 0u);
+}
+
 /// Property sweep over M: the threshold honours 1/M for every class.
 class ExpansionSweep : public ::testing::TestWithParam<double> {};
 

@@ -317,5 +317,89 @@ TEST(RandomizedPartitionTest, BatchClaimDrawsFromTheUniformDiscipline) {
   EXPECT_LT(Chi2, 103.4);
 }
 
+TEST(RandomizedPartitionTest, RemoteFreePushAndDrain) {
+  // The sidecar at partition level: pushes park slots (still live, still
+  // bit-set), the drain materializes them through the validated free.
+  PartitionFixture F(64, 128);
+  void *A = F.Partition.allocate();
+  void *B = F.Partition.allocate();
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+
+  F.Partition.remoteFree(A);
+  F.Partition.remoteFree(B);
+  EXPECT_EQ(F.Partition.remoteFrees(), 2u);
+  EXPECT_EQ(F.Partition.pendingRemoteFrees(), 2u);
+  EXPECT_TRUE(F.Partition.hasPendingRemoteFrees());
+  EXPECT_EQ(F.Partition.live(), 2u)
+      << "pushed slots stay in the live gauge until drained";
+  EXPECT_EQ(F.Partition.objectSize(A), 64u) << "and stay bit-set";
+  EXPECT_EQ(F.Partition.stats().Frees, 0u);
+
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 2u);
+  EXPECT_EQ(F.Partition.pendingRemoteFrees(), 0u);
+  EXPECT_FALSE(F.Partition.hasPendingRemoteFrees());
+  EXPECT_EQ(F.Partition.live(), 0u);
+  EXPECT_EQ(F.Partition.stats().Frees, 2u);
+  EXPECT_EQ(F.Partition.stats().SidecarDrains, 1u);
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 0u);
+
+  // Empty drain: no work, no SidecarDrains tick.
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 0u);
+  EXPECT_EQ(F.Partition.stats().SidecarDrains, 1u);
+}
+
+TEST(RandomizedPartitionTest, RemoteFreeValidation) {
+  PartitionFixture F(64, 128);
+  auto *P = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(P, nullptr);
+
+  // Misaligned pointer: rejected at push time from immutable geometry.
+  F.Partition.remoteFree(P + 8);
+  EXPECT_EQ(F.Partition.remoteFrees(), 0u);
+  EXPECT_EQ(F.Partition.remoteFreeRejects(), 1u);
+
+  // Double push before a drain: the link-word claim fails, the second
+  // free is rejected, the chain stays intact.
+  F.Partition.remoteFree(P);
+  F.Partition.remoteFree(P);
+  EXPECT_EQ(F.Partition.remoteFrees(), 1u);
+  EXPECT_EQ(F.Partition.remoteFreeRejects(), 2u);
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 1u);
+  EXPECT_EQ(F.Partition.stats().Frees, 1u);
+
+  // Push of a slot that is no longer live: accepted (the push cannot read
+  // the bitmap without the lock) but exposed by drain-time validation.
+  F.Partition.remoteFree(P);
+  EXPECT_EQ(F.Partition.remoteFrees(), 2u);
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 1u);
+  EXPECT_EQ(F.Partition.stats().Frees, 1u);
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 1u);
+}
+
+TEST(RandomizedPartitionTest, RemoteFreeLifoChainOrder) {
+  // The Treiber stack drains newest-first; order is an implementation
+  // detail, but the chain must deliver every entry exactly once even when
+  // pushes interleave with drains.
+  PartitionFixture F(64, 256);
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 48; ++I) {
+    void *P = F.Partition.allocate();
+    ASSERT_NE(P, nullptr);
+    Ptrs.push_back(P);
+  }
+  for (int I = 0; I < 16; ++I)
+    F.Partition.remoteFree(Ptrs[static_cast<size_t>(I)]);
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 16u);
+  for (int I = 16; I < 48; ++I)
+    F.Partition.remoteFree(Ptrs[static_cast<size_t>(I)]);
+  EXPECT_EQ(F.Partition.drainRemoteFrees(), 32u);
+  EXPECT_EQ(F.Partition.live(), 0u);
+  EXPECT_EQ(F.Partition.stats().Frees, 48u);
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 0u);
+  EXPECT_EQ(F.Partition.remoteFrees(), 48u);
+  EXPECT_EQ(F.Partition.pendingRemoteFrees(), 0u);
+}
+
 } // namespace
 } // namespace diehard

@@ -199,6 +199,29 @@ TEST(InterposeTest, TinyThreadCacheForcesConstantRefills) {
   EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
 }
 
+TEST(InterposeTest, AdaptiveThreadCacheServesTheFullStress) {
+  // DIEHARD_TCACHE_ADAPT moves every cache's per-class K under the storm
+  // (growth on the hot phases, idle sweeps between them) while the
+  // victim's phase 3 pins the hygiene invariants: zero cached slots after
+  // joins, and the adaptive-K hook honouring its bounds.
+  RunResult R = runPreloaded(
+      DIEHARD_MT_SHARD_VICTIM_PATH,
+      "DIEHARD_SHARDS=4 DIEHARD_TCACHE=8 DIEHARD_TCACHE_ADAPT=1");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
+TEST(InterposeTest, AdaptiveTinyCacheStaysCorrect) {
+  // The smallest base with adaptation on: K starts at 1, the floor
+  // clamps at 2, growth runs 1 -> 2 -> ... -> 8 (the 8x cap). Constant
+  // boundary traffic for the grow/shrink arithmetic.
+  RunResult R = runPreloaded(
+      DIEHARD_MT_SHARD_VICTIM_PATH,
+      "DIEHARD_SHARDS=2 DIEHARD_TCACHE=1 DIEHARD_TCACHE_ADAPT=1");
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_EQ(R.Output, "MT-SHARD-OK\n");
+}
+
 TEST(InterposeTest, StatsDumpEmitsJsonAtExit) {
   // A DIEHARD_STATS value other than 0/1 names a file to append the JSON
   // line to — the robust capture for pipelines, whose stderr the shim's
@@ -221,6 +244,8 @@ TEST(InterposeTest, StatsDumpEmitsJsonAtExit) {
   EXPECT_NE(Dump.find("\"diehard_stats\""), std::string::npos) << Dump;
   EXPECT_NE(Dump.find("\"allocations\""), std::string::npos);
   EXPECT_NE(Dump.find("\"cache_refills\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"remote_frees\""), std::string::npos);
+  EXPECT_NE(Dump.find("\"sidecar_drains\""), std::string::npos);
 }
 
 TEST(InterposeTest, CppBinaryWithNewDelete) {

@@ -238,6 +238,28 @@ int main() {
     }
   }
 
+  // Sidecar/adaptive observability hooks: diehard_remote_frees() counts
+  // cross-shard frees pushed lock-free (0 is legal — with one shard there
+  // is nothing to cross); diehard_tcache_target_k() must reject bad
+  // classes and stay within the cache's hard bounds for good ones.
+  auto RemoteFrees = reinterpret_cast<size_t (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_remote_frees"));
+  auto TargetK = reinterpret_cast<size_t (*)(int)>(
+      ::dlsym(RTLD_DEFAULT, "diehard_tcache_target_k"));
+  if (RemoteFrees != nullptr && TargetK != nullptr) {
+    (void)RemoteFrees(); // Must be callable and lock-free at any time.
+    if (TargetK(-1) != 0 || TargetK(12) != 0) {
+      std::puts("MT-SHARD-FAIL: out-of-range class must report K == 0");
+      return 1;
+    }
+    for (int C = 0; C < 12; ++C)
+      if (TargetK(C) > 256) {
+        std::printf("MT-SHARD-FAIL: class %d K=%zu above the hard cap\n",
+                    C, TargetK(C));
+        return 1;
+      }
+  }
+
   if (Failures.load() != 0) {
     std::puts("MT-SHARD-FAIL");
     return 1;

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_mt_scaling JSON trailer against the committed
+baseline (BENCH_mt_scaling.json at the repo root).
+
+Absolute ops/s are machine-bound, so the comparison works on *scenario
+ratios* — each config's throughput relative to its scenario's reference
+config at the same thread count (sharded/global, partition/coarse,
+cache-on/off). Ratios survive runner-hardware churn far better than raw
+numbers, which is what lets a committed baseline accumulate a perf
+trajectory across PRs.
+
+A ratio that dropped by --warn-pct percent or more counts as a regression:
+the script prints a GitHub `::warning::` annotation per hit and a
+machine-readable JSON summary (stdout, and --output if given), but always
+exits 0 on well-formed input — the gate warns, it does not block, because
+two-vCPU hosted runners are noisy. Exit codes: 0 compared, 2 bad input.
+
+Usage:
+  bench_compare.py --baseline BENCH_mt_scaling.json --fresh fresh.json \
+      [--warn-pct 10] [--output compare.json]
+"""
+
+import argparse
+import json
+import sys
+
+# The denominator config of each known scenario; ratios are
+# ops(config)/ops(reference) at equal thread counts. Unknown scenarios
+# fall back to their alphabetically first config so new bench scenarios
+# never break the comparison.
+REFERENCE_CONFIG = {
+    "sharding": "global",
+    "mixed_class": "coarse_lock",
+    "tcache": "cache_off",
+}
+
+
+def load_results(path):
+    """Returns {(scenario, config, threads): ops_per_sec}."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        out = {}
+        for row in doc["results"]:
+            key = (row["scenario"], row["config"], int(row["threads"]))
+            out[key] = float(row["ops_per_sec"])
+        return out
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        sys.stderr.write(f"bench_compare: cannot parse {path}: {err}\n")
+        sys.exit(2)
+
+
+def scenario_ratios(results):
+    """Returns {(scenario, config, threads): ratio-vs-reference}, skipping
+    reference configs themselves and rows whose reference is missing."""
+    ratios = {}
+    scenarios = {s for (s, _, _) in results}
+    for scenario in scenarios:
+        configs = sorted({c for (s, c, _) in results if s == scenario})
+        reference = REFERENCE_CONFIG.get(scenario, configs[0])
+        for (s, config, threads), ops in results.items():
+            if s != scenario or config == reference:
+                continue
+            ref = results.get((scenario, reference, threads))
+            if not ref:
+                continue
+            ratios[(scenario, config, threads)] = ops / ref
+    return ratios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--fresh", required=True)
+    parser.add_argument("--warn-pct", type=float, default=10.0)
+    parser.add_argument("--output")
+    args = parser.parse_args()
+
+    base = scenario_ratios(load_results(args.baseline))
+    fresh = scenario_ratios(load_results(args.fresh))
+
+    comparisons = []
+    regressions = 0
+    for key in sorted(base.keys() | fresh.keys()):
+        scenario, config, threads = key
+        entry = {"scenario": scenario, "config": config, "threads": threads}
+        if key not in base:
+            entry["status"] = "added"  # New scenario/config: no baseline.
+            entry["fresh_ratio"] = round(fresh[key], 4)
+        elif key not in fresh:
+            entry["status"] = "removed"  # Gone from the bench: informational.
+            entry["baseline_ratio"] = round(base[key], 4)
+        else:
+            delta_pct = (fresh[key] - base[key]) / base[key] * 100.0
+            regressed = delta_pct <= -args.warn_pct
+            entry.update(
+                status="regressed" if regressed else "ok",
+                baseline_ratio=round(base[key], 4),
+                fresh_ratio=round(fresh[key], 4),
+                delta_pct=round(delta_pct, 2),
+            )
+            if regressed:
+                regressions += 1
+                print(
+                    f"::warning title=bench ratio regression::"
+                    f"{scenario}/{config} @{threads}t: "
+                    f"{base[key]:.3f} -> {fresh[key]:.3f} "
+                    f"({delta_pct:+.1f}%)"
+                )
+        comparisons.append(entry)
+
+    summary = {
+        "bench": "mt_scaling",
+        "warn_pct": args.warn_pct,
+        "regressions": regressions,
+        "comparisons": comparisons,
+    }
+    text = json.dumps(summary, indent=2)
+    print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
