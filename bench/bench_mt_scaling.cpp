@@ -35,6 +35,12 @@
 ///    adaptation adds on top (bigger batches on hot classes, so fewer
 ///    refills).
 ///
+/// 4. *Epoch sweeper* — the cached sharded configuration with the
+///    background maintenance thread (DIEHARD_SWEEPER semantics, 25 ms
+///    passes) off versus on. Every bench thread stays hot, so nothing is
+///    ever aged or released; the scenario measures the sweeper's steady-
+///    state overhead, which should be ~1.0x.
+///
 /// Usage: bench_mt_scaling [ops-per-thread] [shards]
 /// (defaults: 400000 ops, one shard per CPU)
 ///
@@ -105,6 +111,8 @@ struct RunConfig {
   bool PerThreadClasses;     ///< Thread t churns size class t % NumClasses.
   size_t ThreadCacheSlots = 0; ///< K for the thread-cache tier (0 = off).
   bool AdaptiveCache = false;  ///< Adaptive per-class K (needs K > 0).
+  bool Sweeper = false;        ///< Background epoch sweeper thread.
+  uint32_t SweepIntervalMs = 25; ///< Sweeper pass interval when enabled.
 };
 
 /// Runs `Threads` workers against a fresh heap per `Config` and returns
@@ -117,6 +125,8 @@ double measure(const RunConfig &Config, int Threads, long OpsPerThread) {
   Options.PartitionLocking = Config.PartitionLocks;
   Options.ThreadCacheSlots = Config.ThreadCacheSlots;
   Options.ThreadCacheAdaptive = Config.AdaptiveCache;
+  Options.Sweeper = Config.Sweeper;
+  Options.SweepIntervalMs = Config.SweepIntervalMs;
   ShardedHeap Heap(Options);
   if (!Heap.isValid()) {
     std::fprintf(stderr, "heap reservation failed\n");
@@ -266,6 +276,37 @@ int main(int argc, char **argv) {
               OnAt8 / OffAt8);
   std::printf("adaptive vs fixed K at 8 threads: %.2fx\n",
               AdaptiveAt8 / OnAt8);
+
+  // Scenario 4: the background epoch sweeper off vs on over the cached
+  // sharded configuration. The sweeper periodically drains sidecars, ages
+  // quiet caches and publishes the pressure table; under a steady-state
+  // churn storm every thread stays active, so its cost here is pure
+  // overhead — the interesting result is how close on/off stays to 1.0x
+  // (the maintenance thread must not tax the fast path).
+  const RunConfig SweeperOff{Cpus, true, false, 32, false, false, 25};
+  const RunConfig SweeperOn{Cpus, true, false, 32, false, true, 25};
+  std::printf("\nepoch sweeper (%zu shards, K=32, %u ms passes)\n", Cpus,
+              SweeperOn.SweepIntervalMs);
+  diehard::bench::printRule();
+  std::printf("%8s  %15s  %14s  %8s\n", "threads", "sweeper-off ops/s",
+              "sweeper-on ops/s", "on/off");
+  diehard::bench::printRule();
+
+  double SwOffAt8 = 0, SwOnAt8 = 0;
+  for (int Threads : ThreadCounts) {
+    double Off = measure(SweeperOff, Threads, OpsPerThread);
+    double On = measure(SweeperOn, Threads, OpsPerThread);
+    recordJson("sweeper", "sweeper_off", Threads, Off);
+    recordJson("sweeper", "sweeper_on", Threads, On);
+    std::printf("%8d  %15.0f  %14.0f  %7.2fx\n", Threads, Off, On,
+                On / Off);
+    if (Threads == 8) {
+      SwOffAt8 = Off;
+      SwOnAt8 = On;
+    }
+  }
+  diehard::bench::printRule();
+  std::printf("sweeper on vs off at 8 threads: %.2fx\n", SwOnAt8 / SwOffAt8);
 
   // Machine-readable trailer for the perf trajectory.
   std::printf("\nJSON: {\"bench\":\"mt_scaling\",\"ops_per_thread\":%ld,"

@@ -120,6 +120,11 @@ size_t DieHardHeap::drainRemoteFrees(int Class) {
   return Partitions[Class].drainRemoteFrees();
 }
 
+RandomizedPartition::MaintainOutcome DieHardHeap::maintain(int Class) {
+  assert(Class >= 0 && Class < NumPartitions && "size class out of range");
+  return Partitions[Class].maintain();
+}
+
 void addPartitionStats(DieHardStats &Total, const RandomizedPartition &P) {
   const PartitionStats &PS = P.stats();
   Total.Allocations += PS.Allocations;
@@ -130,6 +135,8 @@ void addPartitionStats(DieHardStats &Total, const RandomizedPartition &P) {
   Total.ProbeFallbacks += PS.ProbeFallbacks;
   Total.RemoteFrees += P.remoteFrees();
   Total.SidecarDrains += PS.SidecarDrains;
+  Total.SweeperDrainedRemote += PS.SweeperDrained;
+  Total.PagesReturned += PS.PagesReturned;
   // Push-time rejects are double/invalid frees the sidecar refused; they
   // never reach a partition's IgnoredFrees counter, so fold them here.
   Total.IgnoredFrees += P.remoteFreeRejects();

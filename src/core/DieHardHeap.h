@@ -105,9 +105,17 @@ struct DieHardStats {
   uint64_t CacheFlushes = 0;  ///< Deferred-free / full cache flushes.
 
   // Remote-free sidecar (pushed only by the sharded layer's cross-shard
-  // flush; always 0 for a lone heap).
+  // frees; always 0 for a lone heap).
   uint64_t RemoteFrees = 0;   ///< Lock-free sidecar pushes accepted.
   uint64_t SidecarDrains = 0; ///< Non-empty owner-side sidecar drains.
+
+  // Epoch sweeper (sharded layer only; always 0 for a lone heap or with
+  // the sweeper disabled).
+  uint64_t SweepPasses = 0;          ///< Completed sweeper passes.
+  uint64_t SweeperDrainedRemote = 0; ///< Sidecar entries drained by sweeps.
+  uint64_t AgedCaches = 0;           ///< Quiet thread caches aged out.
+  uint64_t PagesReturned = 0;        ///< Empty-partition pages returned to
+                                     ///< the OS (MADV_DONTNEED).
 };
 
 /// Folds one partition's counters into \p Total: the PartitionStats
@@ -219,6 +227,11 @@ public:
   /// free path. Callers hold the class's partition lock in concurrent
   /// configurations. \returns the number of entries processed.
   size_t drainRemoteFrees(int Class);
+
+  /// Epoch-maintenance pass over class \p Class's partition: sidecar drain
+  /// plus empty-partition page return (see RandomizedPartition::maintain).
+  /// Callers hold the class's partition lock in concurrent configurations.
+  RandomizedPartition::MaintainOutcome maintain(int Class);
 
   /// Read-only access to partition \p Class: per-partition stats, fill
   /// gauges, and the live-object walk. The lock-free gauges (live(),

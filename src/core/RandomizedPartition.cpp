@@ -119,6 +119,8 @@ void *RandomizedPartition::allocate() {
   InUse.fetch_add(1, std::memory_order_relaxed);
   ++Stats.Allocations;
   LiveBytes.fetch_add(ObjectSize, std::memory_order_relaxed);
+  if (Released.load(std::memory_order_relaxed))
+    Released.store(false, std::memory_order_relaxed);
   char *Ptr = Base + Index * ObjectSize;
   if (FillOnAllocate)
     randomFill(Ptr, ObjectSize);
@@ -149,6 +151,8 @@ size_t RandomizedPartition::claimRandomSlots(void **Out, size_t MaxCount) {
   Stats.ClaimedSlots += N;
   InUse.fetch_add(N, std::memory_order_relaxed);
   LiveBytes.fetch_add(N * ObjectSize, std::memory_order_relaxed);
+  if (N != 0 && Released.load(std::memory_order_relaxed))
+    Released.store(false, std::memory_order_relaxed);
 
   // Shuffle so the order a cache hands slots out is independent of the
   // order they were claimed (Fisher-Yates from this partition's stream).
@@ -255,6 +259,26 @@ size_t RandomizedPartition::drainRemoteFrees() {
   RemoteDrained.fetch_add(N, std::memory_order_relaxed);
   ++Stats.SidecarDrains;
   return N;
+}
+
+RandomizedPartition::MaintainOutcome RandomizedPartition::maintain() {
+  MaintainOutcome Out;
+  Out.Drained = drainRemoteFrees();
+  Stats.SweeperDrained += Out.Drained;
+  // Page return: only when the partition is fully empty with nothing in
+  // flight, was not already released, and is not replica-filled (a
+  // demand-zero refault would destroy the pre-randomized contents that
+  // FillOnAllocate partitions hand out). The latch makes repeated sweeps of
+  // an idle heap free: one relaxed load, no syscall.
+  if (InUse.load(std::memory_order_relaxed) == 0 &&
+      SidecarHead.load(std::memory_order_relaxed) == 0 && !FillOnAllocate &&
+      !Released.load(std::memory_order_relaxed)) {
+    size_t Bytes = MmapRegion::releasePages(Base, Slots * ObjectSize);
+    Released.store(true, std::memory_order_relaxed);
+    Out.PagesReturned = Bytes / MmapRegion::pageSize();
+    Stats.PagesReturned += Out.PagesReturned;
+  }
+  return Out;
 }
 
 bool RandomizedPartition::deallocate(void *Ptr) {

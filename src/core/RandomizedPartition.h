@@ -103,6 +103,9 @@ struct PartitionStats {
   RelaxedCounter ClaimedSlots;      ///< Slots handed to thread caches.
   RelaxedCounter ReturnedSlots;     ///< Unused cached slots handed back.
   RelaxedCounter SidecarDrains;     ///< Non-empty remote-free drains.
+  RelaxedCounter SweeperDrained;    ///< Sidecar entries drained by maintain().
+  RelaxedCounter PagesReturned;     ///< Pages returned to the OS (empty
+                                    ///< partitions, MADV_DONTNEED).
 };
 
 /// Claims a free slot in \p Bits: up to 64 uniform random probes, then a
@@ -187,6 +190,33 @@ public:
   /// \returns the number of entries processed (freed or rejected as
   /// double/invalid frees).
   size_t drainRemoteFrees();
+
+  /// Result of one maintain() pass.
+  struct MaintainOutcome {
+    size_t Drained = 0;       ///< Sidecar entries processed.
+    size_t PagesReturned = 0; ///< Whole pages handed back to the OS.
+  };
+
+  /// Epoch-maintenance entry for the background sweeper. Drains the
+  /// remote-free sidecar through the validated deallocate() path (so
+  /// double-free detection fires exactly as an owner drain would), then —
+  /// when the partition is fully empty with nothing in flight — returns the
+  /// data region's pages to the OS with MADV_DONTNEED. Only the demand-zero
+  /// object pages are dropped; the bitmap, live gauges, and threshold are
+  /// untouched, so the 1/M bound and free validation are unchanged and the
+  /// next allocation simply refaults zero pages. Skipped for
+  /// replicated-fill partitions (FillOnAllocate), whose pre-randomized
+  /// contents a refault would destroy, and made idempotent by a Released
+  /// latch that successful allocations clear. Callers hold the partition
+  /// lock in concurrent configurations.
+  MaintainOutcome maintain();
+
+  /// True while the partition's empty data pages are returned to the OS
+  /// (set by maintain(), cleared by the next successful allocation or slot
+  /// claim). Lock-free gauge.
+  bool pagesReleased() const {
+    return Released.load(std::memory_order_relaxed);
+  }
 
   /// Successful sidecar pushes so far. Lock-free gauge.
   uint64_t remoteFrees() const {
@@ -315,6 +345,11 @@ private:
   std::atomic<size_t> InUse{0};
   std::atomic<size_t> LiveBytes{0};
   PartitionStats Stats;
+
+  /// Latch for maintain()'s page return: true while the empty region's
+  /// pages are handed back to the OS, cleared on the next allocation.
+  /// Mutated only under the partition lock; relaxed for lock-free readers.
+  std::atomic<bool> Released{false};
 
   /// Remote-free sidecar state. The link array and head are mutated
   /// lock-free by pushers; RemoteDrained and the drain walk are owner-only

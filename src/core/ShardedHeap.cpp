@@ -19,8 +19,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 
+#include <time.h>
 #include <unistd.h>
 
 namespace diehard {
@@ -51,6 +53,13 @@ thread_local uint32_t ThreadToken __attribute__((tls_model("initial-exec"))) =
 #else
 thread_local uint32_t ThreadToken = 0;
 #endif
+
+/// Guards the process-global intrusive list of sweeper-enabled heaps the
+/// fork handlers walk. Ordering: list lock -> sweeper pass gate; nothing
+/// that holds a pass gate ever takes the list lock.
+pthread_mutex_t SweeperListLock = PTHREAD_MUTEX_INITIALIZER;
+ShardedHeap *SweeperListHead = nullptr;
+pthread_once_t SweeperAtforkOnce = PTHREAD_ONCE_INIT;
 
 } // namespace
 
@@ -127,9 +136,17 @@ ShardedHeap::ShardedHeap(const ShardedHeapOptions &Options) : Opts(Options) {
       CacheMinK = CacheSlotsPerClass;
     }
   }
+
+  if (Opts.SweepIntervalMs == 0)
+    Opts.SweepIntervalMs = 1;
+  if (Opts.Sweeper && Valid)
+    startSweeper();
 }
 
 ShardedHeap::~ShardedHeap() {
+  // Join the sweeper before anything it walks (caches, partitions) goes
+  // away. After this returns no other thread touches this instance.
+  stopSweeper();
   // Threads using this heap are contractually done; their caches hold only
   // pointers into reservations that are about to vanish, so there is
   // nothing to flush — just orphan them. Owner threads prune the corpses
@@ -190,6 +207,9 @@ void *ShardedHeap::allocate(size_t Size) {
   if (CacheSlotsPerClass != 0) {
     ThreadCache *TC = cacheForThread();
     if (TC != nullptr) {
+      // The guard is the owner half of the sweeper handshake; it compiles
+      // to nothing when the sweeper is off.
+      CacheOpGuard Bracket(*this, *TC);
       void *Ptr = TC->pop(Class);
       if (Ptr != nullptr)
         return Ptr;
@@ -238,11 +258,26 @@ void *ShardedHeap::allocate(size_t Size) {
 }
 
 void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
+  // With the sweeper running, rank siblings from its published pressure
+  // table — two gauge loads per sibling become one table load, and the
+  // table is refreshed every pass. Table entries can be a full sweep
+  // interval stale, so a miss (every table-ranked probe refused under its
+  // lock) falls back to one direct-gauge round; staleness costs a retry,
+  // never a spurious whole-request failure.
+  void *Ptr = overflowProbe(Home, Class, Size, /*UseTable=*/SweeperOn);
+  if (Ptr == nullptr && SweeperOn)
+    Ptr = overflowProbe(Home, Class, Size, /*UseTable=*/false);
+  return Ptr;
+}
+
+void *ShardedHeap::overflowProbe(uint32_t Home, int Class, size_t Size,
+                                 bool UseTable) {
   // Rank siblings by the target partition's fill, skipping ones whose
-  // gauge already shows saturation. The gauges are relaxed atomics, so
-  // this snapshot can be stale — harmless, because the chosen partition
-  // re-checks its 1/M bound under its own lock. All shards share one
-  // threshold (same options), so the live count alone orders fills.
+  // gauge already shows saturation. The gauges (and the sweeper's table)
+  // are relaxed atomics, so this snapshot can be stale — harmless, because
+  // the chosen partition re-checks its 1/M bound under its own lock. All
+  // shards share one threshold (same options), so the live count alone
+  // orders fills.
   struct Candidate {
     size_t Live;
     uint32_t Index;
@@ -253,12 +288,20 @@ void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
     if (I == Home)
       continue;
     const RandomizedPartition &P = Shards[I]->Heap.partition(Class);
-    size_t Live = P.live();
-    // Rank by live net of undrained sidecar entries: those slots free the
-    // moment the candidate's lock is taken (allocateSmallIn drains first),
-    // so a gauge-saturated partition with pending frees is still viable.
-    uint64_t Pending = P.pendingRemoteFrees();
-    Live = Pending < Live ? Live - static_cast<size_t>(Pending) : 0;
+    size_t Live;
+    if (UseTable) {
+      Live = Pressure[I * static_cast<size_t>(DieHardHeap::NumPartitions) +
+                      static_cast<size_t>(Class)]
+                 .load(std::memory_order_relaxed);
+    } else {
+      Live = P.live();
+      // Rank by live net of undrained sidecar entries: those slots free
+      // the moment the candidate's lock is taken (allocateSmallIn drains
+      // first), so a gauge-saturated partition with pending frees is
+      // still viable. (The table is published already net of pending.)
+      uint64_t Pending = P.pendingRemoteFrees();
+      Live = Pending < Live ? Live - static_cast<size_t>(Pending) : 0;
+    }
     if (Live < P.threshold())
       Candidates[N++] = {Live, I};
   }
@@ -280,11 +323,17 @@ void *ShardedHeap::allocateOverflow(uint32_t Home, int Class, size_t Size) {
 
 ThreadCache *ShardedHeap::cacheForThread() {
   ThreadCache *TC = threadCacheLookup(Id);
-  if (TC != nullptr)
-    return TC;
-  return threadCacheInstall(*this, Caches, Id, homeShard(),
+  if (TC == nullptr)
+    TC = threadCacheInstall(*this, Caches, Id, homeShard(),
                             CacheCapPerClass, CacheSlotsPerClass,
                             CacheDeferredCap);
+  // Activity stamp for the sweeper's aging scan: every cache operation
+  // passes through here, so a thread is "quiet" exactly when it has made
+  // no allocator call for two full sweep intervals. Two relaxed accesses,
+  // only when the sweeper is on.
+  if (TC != nullptr && SweeperOn)
+    TC->stampEpoch(SweepPassCount.load(std::memory_order_relaxed));
+  return TC;
 }
 
 void *ShardedHeap::refillAndPop(ThreadCache &TC, int Class) {
@@ -369,7 +418,7 @@ void ShardedHeap::maybeSweepCache(ThreadCache &TC) {
   }
 }
 
-void ShardedHeap::flushDeferred(ThreadCache &TC) {
+void ShardedHeap::flushDeferred(ThreadCache &TC, bool Adapt) {
   DeferredFree Buf[ThreadCache::MaxDeferred];
   size_t N = TC.drainDeferred(Buf);
   if (N == 0)
@@ -405,12 +454,15 @@ void ShardedHeap::flushDeferred(ThreadCache &TC) {
     Remaining = Kept;
   }
   CacheFlushCount.fetch_add(1, std::memory_order_relaxed);
-  if (CacheAdaptive)
+  // Adaptive bookkeeping touches the owner's private sizing words, so a
+  // sweeper-driven flush (Adapt == false) must skip it: the seized owner
+  // is quiescent but may resume the instant the sweeper releases it.
+  if (CacheAdaptive && Adapt)
     maybeSweepCache(TC);
 }
 
-void ShardedHeap::flushCacheFully(ThreadCache &TC) {
-  flushDeferred(TC);
+void ShardedHeap::flushCacheFully(ThreadCache &TC, bool Adapt) {
+  flushDeferred(TC, Adapt);
   Shard &S = *Shards[TC.homeShard()];
   void *Slots[ThreadCache::MaxSlotsPerClass];
   for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
@@ -429,8 +481,10 @@ void ShardedHeap::flushThreadCache() {
   if (CacheSlotsPerClass == 0)
     return;
   ThreadCache *TC = threadCacheLookup(Id);
-  if (TC != nullptr)
+  if (TC != nullptr) {
+    CacheOpGuard Bracket(*this, *TC);
     flushCacheFully(*TC);
+  }
 }
 
 size_t ShardedHeap::drainRemoteFrees() {
@@ -507,6 +561,7 @@ void ShardedHeap::deferOrDeallocate(void *Ptr, uint32_t Owner) {
       Owner != LargeOwner) {
     ThreadCache *TC = cacheForThread();
     if (TC != nullptr) {
+      CacheOpGuard Bracket(*this, *TC);
       int Class = Shards[Owner]->Heap.partitionIndexOf(Ptr);
       if (!TC->pushDeferred(Ptr, Owner, Class)) {
         flushDeferred(*TC);
@@ -533,6 +588,15 @@ void ShardedHeap::deallocateOwned(void *Ptr, uint32_t Owner) {
   // The partition index derives from immutable construction-time geometry,
   // so routing to the right lock needs no lock itself.
   int Class = S.Heap.partitionIndexOf(Ptr);
+  if (Owner != homeShard()) {
+    // Uncached cross-shard free (cache tier off, or its install failed):
+    // push onto the owning partition's lock-free sidecar instead of taking
+    // a remote mutex — the same contention-free route the deferred-flush
+    // path uses. Push-time validation still catches double frees; whoever
+    // holds the owner's lock next (or the sweeper) materializes it.
+    S.Heap.remoteFree(Class, Ptr);
+    return;
+  }
   std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
   S.Heap.deallocate(Ptr);
 }
@@ -621,6 +685,8 @@ DieHardStats ShardedHeap::sharedCounterSnapshot() const {
   Total.OverflowAllocations = OverflowCount.load(std::memory_order_relaxed);
   Total.FailedAllocations +=
       OverflowFailedCount.load(std::memory_order_relaxed);
+  Total.SweepPasses = SweepPassCount.load(std::memory_order_relaxed);
+  Total.AgedCaches = AgedCacheCount.load(std::memory_order_relaxed);
   return Total;
 }
 
@@ -692,5 +758,176 @@ size_t ShardedHeap::liveLargeObjects() const {
 }
 
 uint64_t ShardedHeap::seed() const { return Shards[0]->Heap.seed(); }
+
+//===----------------------------------------------------------------------===//
+// Epoch sweeper
+//===----------------------------------------------------------------------===//
+
+uint64_t ShardedHeap::pagesReturned() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).stats().PagesReturned;
+  return Total;
+}
+
+size_t ShardedHeap::sweepOnce() {
+  // Callers hold the pass gate (Sweep.Lock); the pass itself takes at most
+  // one other lock at a time and never blocks while holding one.
+  uint64_t Epoch = SweepPassCount.load(std::memory_order_relaxed) + 1;
+
+  // Layer 2 first: aging a quiet thread's cache returns its claimed slots
+  // and pushes its parked cross-shard frees into sidecars, so the
+  // partition scan below materializes them within this same pass.
+  size_t Aged = threadCacheAgeQuiet(Caches, Epoch);
+  if (Aged != 0)
+    AgedCacheCount.fetch_add(Aged, std::memory_order_relaxed);
+
+  // Layer 1: drain pressured partitions and return the pages of fully
+  // empty ones, then publish the post-maintenance pressure table entry.
+  size_t Drained = 0;
+  for (uint32_t I = 0; I < Shards.size(); ++I) {
+    Shard &S = *Shards[I];
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
+      const RandomizedPartition &P = S.Heap.partition(C);
+      // Lock only when there is work: pending sidecar entries to drain,
+      // or an empty partition whose pages have not been returned yet.
+      // Replica-filled partitions never release pages (their data must
+      // stay resident for the fill invariant), so skip them.
+      if (P.hasPendingRemoteFrees() ||
+          (P.live() == 0 && !P.pagesReleased() &&
+           !Opts.Heap.RandomFillObjects)) {
+        std::lock_guard<std::mutex> Guard(partitionLock(S, C));
+        Drained += S.Heap.maintain(C).Drained;
+      }
+      size_t Live = P.live();
+      uint64_t Pending = P.pendingRemoteFrees();
+      size_t Net = Pending < Live ? Live - static_cast<size_t>(Pending) : 0;
+      if (Net > UINT32_MAX)
+        Net = UINT32_MAX;
+      Pressure[I * static_cast<size_t>(DieHardHeap::NumPartitions) +
+               static_cast<size_t>(C)]
+          .store(static_cast<uint32_t>(Net), std::memory_order_relaxed);
+    }
+  }
+
+  // Publishing the epoch last means a cache stamped during this pass reads
+  // at worst Epoch - 1 and still survives the aging test at Epoch + 1.
+  SweepPassCount.store(Epoch, std::memory_order_relaxed);
+  return Drained;
+}
+
+size_t ShardedHeap::sweepNow() {
+  if (!SweeperOn)
+    return 0;
+  pthread_mutex_lock(&Sweep.Lock);
+  size_t Drained = sweepOnce();
+  pthread_mutex_unlock(&Sweep.Lock);
+  return Drained;
+}
+
+void *ShardedHeap::sweeperMain(void *Arg) {
+  auto *H = static_cast<ShardedHeap *>(Arg);
+  SweeperState &S = H->Sweep;
+  // The pass gate is held for the thread's whole life except while parked
+  // in the timed wait, so a fork handler that acquires it is guaranteed
+  // the sweeper is between passes (holding no other lock).
+  pthread_mutex_lock(&S.Lock);
+  while (!S.StopRequested) {
+    timespec Deadline;
+    clock_gettime(CLOCK_MONOTONIC, &Deadline);
+    uint64_t Ns = static_cast<uint64_t>(Deadline.tv_nsec) +
+                  static_cast<uint64_t>(H->Opts.SweepIntervalMs) * 1000000u;
+    Deadline.tv_sec += static_cast<time_t>(Ns / 1000000000u);
+    Deadline.tv_nsec = static_cast<long>(Ns % 1000000000u);
+    int Rc = 0;
+    while (!S.StopRequested && Rc != ETIMEDOUT)
+      Rc = pthread_cond_timedwait(&S.Wake, &S.Lock, &Deadline);
+    if (S.StopRequested)
+      break;
+    H->sweepOnce();
+  }
+  pthread_mutex_unlock(&S.Lock);
+  return nullptr;
+}
+
+void ShardedHeap::startSweeper() {
+  // Construction-time only; no concurrent callers. All state is embedded
+  // in the heap object — starting the sweeper allocates nothing, which
+  // keeps it safe inside the malloc shim.
+  pthread_once(&SweeperAtforkOnce, +[] {
+    pthread_atfork(sweeperAtforkPrepare, sweeperAtforkParent,
+                   sweeperAtforkChild);
+  });
+  pthread_condattr_t Attr;
+  pthread_condattr_init(&Attr);
+  pthread_condattr_setclock(&Attr, CLOCK_MONOTONIC);
+  pthread_cond_init(&Sweep.Wake, &Attr);
+  pthread_condattr_destroy(&Attr);
+  // Link into the fork-handler list before the thread can take its gate,
+  // so a concurrent fork elsewhere sees either no sweeper or a fully
+  // registered one.
+  pthread_mutex_lock(&SweeperListLock);
+  if (pthread_create(&Sweep.Thread, nullptr, sweeperMain, this) == 0) {
+    Sweep.Running = true;
+    SweeperOn = true;
+    SweeperNext = SweeperListHead;
+    SweeperListHead = this;
+  }
+  pthread_mutex_unlock(&SweeperListLock);
+}
+
+void ShardedHeap::stopSweeper() {
+  if (!SweeperOn)
+    return;
+  pthread_mutex_lock(&Sweep.Lock);
+  Sweep.StopRequested = true;
+  bool Join = Sweep.Running;
+  pthread_cond_signal(&Sweep.Wake);
+  pthread_mutex_unlock(&Sweep.Lock);
+  // In a forked child Running is false — the thread did not survive the
+  // fork and must not be joined.
+  if (Join)
+    pthread_join(Sweep.Thread, nullptr);
+  // Unlink only after the join: the pass gate is free, and the fork
+  // handlers must never walk into a destroyed heap. List lock and pass
+  // gate are never held together here (see the lock hierarchy).
+  pthread_mutex_lock(&SweeperListLock);
+  for (ShardedHeap **Link = &SweeperListHead; *Link != nullptr;
+       Link = &(*Link)->SweeperNext) {
+    if (*Link == this) {
+      *Link = SweeperNext;
+      break;
+    }
+  }
+  pthread_mutex_unlock(&SweeperListLock);
+}
+
+void ShardedHeap::sweeperAtforkPrepare() {
+  // List lock first, then every registered pass gate (list order). With
+  // all gates held, every sweeper thread is parked between passes and
+  // holds no other lock, so the child's address space cannot inherit a
+  // mutex frozen mid-pass.
+  pthread_mutex_lock(&SweeperListLock);
+  for (ShardedHeap *H = SweeperListHead; H != nullptr; H = H->SweeperNext)
+    pthread_mutex_lock(&H->Sweep.Lock);
+}
+
+void ShardedHeap::sweeperAtforkParent() {
+  for (ShardedHeap *H = SweeperListHead; H != nullptr; H = H->SweeperNext)
+    pthread_mutex_unlock(&H->Sweep.Lock);
+  pthread_mutex_unlock(&SweeperListLock);
+}
+
+void ShardedHeap::sweeperAtforkChild() {
+  // Only the forking thread exists in the child: mark each sweeper as not
+  // running (nothing to join) rather than respawning it. A child that
+  // wants background sweeping builds its own heap.
+  for (ShardedHeap *H = SweeperListHead; H != nullptr; H = H->SweeperNext) {
+    H->Sweep.Running = false;
+    pthread_mutex_unlock(&H->Sweep.Lock);
+  }
+  pthread_mutex_unlock(&SweeperListLock);
+}
 
 } // namespace diehard

@@ -63,16 +63,18 @@
 /// unchanged (see ThreadCache.h). ShardedHeap owns cache registration,
 /// refill/flush, thread-exit flush and the cache-aware stats.
 ///
-/// Remote-free sidecars: when a deferred-free flush reaches a group owned
-/// by a shard other than the flushing thread's home, the group is NOT
-/// returned under the remote partition's lock. Each pointer is pushed onto
-/// the owning partition's lock-free MPSC sidecar instead
-/// (RandomizedPartition::remoteFree), so a cross-shard flush performs zero
+/// Remote-free sidecars: every small-object free owned by a shard other
+/// than the freeing thread's home — a deferred-flush group with the cache
+/// tier on, or an individual uncached free with it off — is NOT returned
+/// under the remote partition's lock. Each pointer is pushed onto the
+/// owning partition's lock-free MPSC sidecar instead
+/// (RandomizedPartition::remoteFree), so a cross-shard free performs zero
 /// acquisitions of any remote mutex. Whoever next takes that partition's
 /// lock for its own reasons — a refill, a locked allocation, a same-shard
-/// flush batch, an explicit drainRemoteFrees() — drains the sidecar
-/// through the ordinary validated free path. Same-shard groups keep the
-/// locked batch (the home locks are the cheap, mostly-uncontended ones).
+/// flush batch, a sweeper pass, an explicit drainRemoteFrees() — drains
+/// the sidecar through the ordinary validated free path. Same-shard frees
+/// keep the locked path (the home locks are the cheap, mostly-uncontended
+/// ones).
 ///
 /// Adaptive cache sizing (ThreadCacheAdaptive / DIEHARD_TCACHE_ADAPT):
 /// each cache's per-class batch size K starts at ThreadCacheSlots and
@@ -86,17 +88,55 @@
 /// untouched. Placement stays uniform by construction: adaptation only
 /// changes *how many* slots a refill claims, never how they are chosen.
 ///
-/// Lock ordering: cache registry lock -> LargeLock -> AddressRangeMap lock
-/// -> partition lock (the registry lock is only ever combined with
-/// partition locks, by the thread-exit flush; stats() takes it and releases
-/// it before touching partitions). A thread holds at most one partition
-/// lock at a time, with one exception:
+/// Epoch sweeper (Sweeper / DIEHARD_SWEEPER): an optional background
+/// maintenance thread that wakes every SweepIntervalMs and runs one pass
+/// over all four layers. A pass (1) ages out thread caches whose owners
+/// have been quiet for two full epochs — the whole cache (deferred frees
+/// included) flushes through the ordinary full-flush path without the
+/// owner thread exiting; (2) runs RandomizedPartition::maintain() on every
+/// partition with pending sidecar entries or a newly empty region, so
+/// in-flight cross-shard frees of idle partitions materialize and fully
+/// empty partitions hand their data pages back to the OS (MADV_DONTNEED;
+/// the bitmap metadata is untouched, so the 1/M bound and free validation
+/// are unchanged); and (3) publishes a per-(shard, class) pressure table
+/// of relaxed atomics that overflow routing reads instead of re-probing
+/// every sibling's gauges per allocation (with a direct-gauge fallback, so
+/// a stale table entry can only cost a retry, never a spurious failure).
+///
+/// Safety of foreign-cache aging rests on a Dekker-style handshake, active
+/// only when the sweeper is configured: every owner cache operation is
+/// bracketed by a seq_cst InOp store and a Seized check, and the sweeper
+/// (under the registry lock) publishes Seized with seq_cst before reading
+/// InOp — whichever side loses the race backs off (the sweeper skips the
+/// cache; the owner serializes through the registry lock). The default
+/// configuration never executes the bracket, and the pop/push operations
+/// themselves never stamp epochs — activity stamps happen at the
+/// cache-lookup boundary around them — so the lock-free fast path is
+/// untouched either way. The sweeper allocates nothing (its state is
+/// embedded in the heap; glibc mmaps the thread stack), making it safe
+/// under the malloc shim, and fork is handled with pthread_atfork: the
+/// prepare hook holds every sweeper's pass gate across the fork, so the
+/// child inherits no mid-pass state; the child simply has no sweeper
+/// thread (it is not respawned — a documented limitation matching the
+/// usual fork-then-exec pattern).
+///
+/// Lock ordering: sweeper list lock -> sweeper pass gate -> cache registry
+/// lock -> LargeLock -> AddressRangeMap lock -> partition lock (the
+/// registry lock is only ever combined with partition locks, by the
+/// thread-exit flush and the sweeper's cache aging; stats() takes it and
+/// releases it before touching partitions; the sweeper's pass gate is held
+/// across a whole pass, and the list lock only by start/stop/fork
+/// handlers). A thread holds at most one partition lock at a time — the
+/// sweeper included — with one exception:
 /// the stats()/aggregation paths may hold several partition locks *of the
 /// same shard* acquired in ascending class order (never locks of two
 /// different shards). Overflow routing takes sibling partition locks only
 /// after releasing the home partition's lock. Sidecar pushes and the
 /// pending gauges are lock-free and sit outside the hierarchy entirely;
-/// sidecar drains happen only under the drained partition's lock. Nothing
+/// sidecar drains happen only under the drained partition's lock. The
+/// sweeper never holds any lock across a blocking call: its
+/// pthread_cond_timedwait releases the pass gate, and every lock it takes
+/// during a pass is released before the next wait. Nothing
 /// that runs under LargeLock allocates through the global allocator — the
 /// large-object validity table is mmap-backed precisely so that, under the
 /// malloc shim, the locked large path can never re-enter itself. (The
@@ -120,6 +160,8 @@
 #include <memory>
 #include <mutex>
 #include <vector>
+
+#include <pthread.h>
 
 namespace diehard {
 
@@ -164,6 +206,18 @@ struct ShardedHeapOptions {
   /// idle (see the file comment). No effect with ThreadCacheSlots == 0.
   /// The shim maps DIEHARD_TCACHE_ADAPT onto this.
   bool ThreadCacheAdaptive = false;
+
+  /// Start the background epoch sweeper (see the file comment): periodic
+  /// sidecar drains, quiet-cache aging, empty-partition page return, and
+  /// the pressure table for overflow routing. Off by default — and the
+  /// shim forces it off for replicas, whose per-seed determinism a
+  /// concurrent maintenance thread would perturb. The shim maps
+  /// DIEHARD_SWEEPER onto this.
+  bool Sweeper = false;
+
+  /// Milliseconds between sweeper passes. The shim maps DIEHARD_SWEEP_MS
+  /// onto this; clamped to >= 1.
+  uint32_t SweepIntervalMs = 100;
 };
 
 /// Thread-scalable sharded DieHard heap.
@@ -303,6 +357,39 @@ public:
   /// the public surface.
   void flushCacheAtThreadExit(ThreadCache &TC) { flushCacheFully(TC); }
 
+  /// Internal: full flush of a quiet thread's seized cache on behalf of
+  /// the sweeper (threadCacheAgeQuiet, under the cache registry lock).
+  /// Skips the adaptive-sizing bookkeeping — that state is owner-private
+  /// plain words the sweeper must not touch. Not part of the public
+  /// surface.
+  void flushCacheAged(ThreadCache &TC) {
+    flushCacheFully(TC, /*Adapt=*/false);
+  }
+
+  /// Runs one synchronous sweeper pass on the calling thread (serialized
+  /// with the background thread through the pass gate). Only meaningful
+  /// with Options.Sweeper on; tests pair it with a long SweepIntervalMs to
+  /// drive deterministic epochs. The caller must hold no heap lock.
+  /// \returns the number of sidecar entries the pass drained.
+  size_t sweepNow();
+
+  /// Completed sweeper passes (the epoch counter). Lock-free read.
+  uint64_t sweepPasses() const {
+    return SweepPassCount.load(std::memory_order_relaxed);
+  }
+
+  /// Quiet thread caches aged out by the sweeper. Lock-free read.
+  uint64_t agedCaches() const {
+    return AgedCacheCount.load(std::memory_order_relaxed);
+  }
+
+  /// Empty-partition pages returned to the OS, across all shards.
+  /// Lock-free read.
+  uint64_t pagesReturned() const;
+
+  /// True when the epoch sweeper is configured and its thread started.
+  bool sweeperEnabled() const { return SweeperOn; }
+
   /// Allocations that were served by a sibling shard because the home
   /// partition was at its 1/M bound. Lock-free read.
   uint64_t overflowAllocations() const {
@@ -395,13 +482,16 @@ private:
   /// surplus above the new K to the home partition.
   void maybeSweepCache(ThreadCache &TC);
 
-  /// Returns every deferred free to its owning partition, one locked batch
-  /// per (owner shard, class) group.
-  void flushDeferred(ThreadCache &TC);
+  /// Returns every deferred free to its owning partition: one locked batch
+  /// per home-shard (owner, class) group, lock-free sidecar pushes for
+  /// groups owned by other shards. \p Adapt false (the sweeper's aged
+  /// flush) skips the adaptive idle sweep, whose bookkeeping is
+  /// owner-private.
+  void flushDeferred(ThreadCache &TC, bool Adapt = true);
 
   /// flushDeferred plus reclamation of all unused cached slots and a fold
   /// of the cache's counters into the heap aggregates.
-  void flushCacheFully(ThreadCache &TC);
+  void flushCacheFully(ThreadCache &TC, bool Adapt = true);
 
   /// The heap-level relaxed gauges common to stats() and statsApprox()
   /// (large path, foreign frees, overflow, cache refill/flush counters,
@@ -413,8 +503,42 @@ private:
 
   /// The overflow slow path: \p Home's class-\p Class partition refused the
   /// allocation; probe up to MaxOverflowProbes sibling shards in ascending
-  /// fill order. \returns nullptr if every probed sibling is saturated too.
+  /// fill order — ranked from the sweeper's pressure table when it is
+  /// running, from the live gauges otherwise (and as the fallback when
+  /// every table-ranked probe fails, so a stale table entry can never turn
+  /// into a spurious allocation failure). \returns nullptr if every probed
+  /// sibling is saturated too.
   void *allocateOverflow(uint32_t Home, int Class, size_t Size);
+
+  /// One ranking-and-probing round of allocateOverflow. \p UseTable picks
+  /// the pressure table or the direct gauges as the ranking source.
+  void *overflowProbe(uint32_t Home, int Class, size_t Size, bool UseTable);
+
+  // --- Epoch sweeper (see the file comment) -------------------------------
+
+  /// Starts/stops the background sweeper thread (constructor tail /
+  /// destructor head; the stop precedes cache retirement so the sweeper
+  /// can never touch a dying registry).
+  void startSweeper();
+  void stopSweeper();
+
+  /// One maintenance pass: age quiet caches, maintain every pressured
+  /// partition (one partition lock at a time), publish the pressure table,
+  /// advance the epoch. Runs with the pass gate held. \returns sidecar
+  /// entries drained.
+  size_t sweepOnce();
+
+  /// The sweeper thread body: timed waits on the pass gate interleaved
+  /// with sweepOnce() until stop is requested.
+  static void *sweeperMain(void *Arg);
+
+  /// Fork handlers: prepare holds the list lock and every sweeper's pass
+  /// gate across the fork (no sweeper is mid-pass in the child); the child
+  /// marks every sweeper thread as gone — sweepers are not respawned after
+  /// fork.
+  static void sweeperAtforkPrepare();
+  static void sweeperAtforkParent();
+  static void sweeperAtforkChild();
 
   /// Large-object path (caller verified Size > SizeClass::MaxObjectSize).
   void *allocateLarge(size_t Size);
@@ -492,6 +616,70 @@ private:
   /// allocations of the dynamic loader). Atomic so the foreign-free path
   /// does not contend with the syscall-heavy large path.
   mutable std::atomic<uint64_t> ForeignFrees{0};
+
+  // --- Epoch sweeper state -------------------------------------------------
+
+  /// Embedded sweeper thread state: no allocation anywhere in sweeper
+  /// bookkeeping (shim-safe). The pass gate (Lock) is held for the whole
+  /// of every pass and released inside the timed wait between passes,
+  /// which is exactly what the fork prepare handler and sweepNow()
+  /// serialize against.
+  struct SweeperState {
+    pthread_t Thread{};
+    pthread_mutex_t Lock = PTHREAD_MUTEX_INITIALIZER;
+    pthread_cond_t Wake = PTHREAD_COND_INITIALIZER;
+    /// The thread exists and must be joined. Cleared only by stopSweeper()
+    /// and by the atfork child handler (the thread does not survive fork).
+    bool Running = false;
+    bool StopRequested = false;
+  };
+  SweeperState Sweep;
+
+  /// True once the sweeper thread started; constant afterwards. Gates the
+  /// owner-side op brackets and the pressure-table ranking, so the default
+  /// configuration pays nothing.
+  bool SweeperOn = false;
+
+  /// Intrusive link in the process-global list of sweeper-enabled heaps
+  /// (for the fork handlers). Guarded by the list lock in ShardedHeap.cpp.
+  ShardedHeap *SweeperNext = nullptr;
+
+  /// Completed sweeper passes; doubles as the cache-aging epoch.
+  std::atomic<uint64_t> SweepPassCount{0};
+
+  /// Quiet caches aged out by the sweeper.
+  std::atomic<uint64_t> AgedCacheCount{0};
+
+  /// The published per-(shard, class) pressure table: live objects net of
+  /// pending sidecar entries, refreshed once per sweep pass. Overflow
+  /// routing ranks siblings from this instead of probing every sibling's
+  /// gauges per allocation when the sweeper runs.
+  std::atomic<uint32_t> Pressure[MaxShards * DieHardHeap::NumPartitions] =
+      {};
+
+  /// RAII owner-side bracket for the sweeper handshake; a no-op until the
+  /// sweeper is on.
+  class CacheOpGuard {
+  public:
+    CacheOpGuard(const ShardedHeap &H, ThreadCache &Cache)
+        : Active(H.SweeperOn), TC(Cache) {
+      if (!Active)
+        return;
+      TC.beginOp();
+      if (TC.seizedBySweeper())
+        threadCacheUnseize(TC);
+    }
+    ~CacheOpGuard() {
+      if (Active)
+        TC.endOp();
+    }
+    CacheOpGuard(const CacheOpGuard &) = delete;
+    CacheOpGuard &operator=(const CacheOpGuard &) = delete;
+
+  private:
+    bool Active;
+    ThreadCache &TC;
+  };
 };
 
 } // namespace diehard

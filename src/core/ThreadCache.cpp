@@ -265,6 +265,51 @@ void threadCacheRetireHeap(ThreadCacheAnchor &Anchor) {
   pthread_mutex_unlock(&RegistryLock);
 }
 
+size_t threadCacheAgeQuiet(ThreadCacheAnchor &Anchor, uint64_t Epoch) {
+  size_t Aged = 0;
+  pthread_mutex_lock(&RegistryLock);
+  for (ThreadCache *TC = Anchor.Head; TC != nullptr; TC = TC->RegNext) {
+    // Aging horizon: the owner must have been quiet for two full epochs
+    // (a stamp during epoch E survives the pass that opens E+1 and ages at
+    // E+2), and the cache must actually hold something worth reclaiming.
+    if (TC->LastEpoch.load(std::memory_order_relaxed) + 2 > Epoch)
+      continue;
+    if (TC->cachedTotal() == 0 && TC->deferredUsed() == 0)
+      continue;
+    // Dekker handshake with the owner's op bracket: publish the seizure,
+    // then check for an op in flight. Both sides' first access is seq_cst,
+    // so at least one of them observes the other; a mid-op owner makes the
+    // sweeper roll back and skip — never wait — which also keeps a
+    // descheduled owner from blocking the sweep.
+    TC->Seized.store(1, std::memory_order_seq_cst);
+    if (TC->InOp.load(std::memory_order_seq_cst) != 0) {
+      TC->Seized.store(0, std::memory_order_relaxed);
+      continue;
+    }
+    // The owner is parked outside any bracket and will serialize through
+    // the registry lock if it wakes now: the cache is ours. Flush it
+    // through the ordinary full-flush path — deferred frees return to
+    // their owners (cross-shard via sidecars), cached slots reclaim via
+    // reclaimSlots, pops fold — without the owner thread exiting.
+    TC->Heap->flushCacheAged(*TC);
+    // Release the buffers back to the owner: its next bracket entry
+    // acquires this store (or takes the registry lock) before touching
+    // them.
+    TC->Seized.store(0, std::memory_order_release);
+    ++Aged;
+  }
+  pthread_mutex_unlock(&RegistryLock);
+  return Aged;
+}
+
+void threadCacheUnseize(ThreadCache &TC) {
+  // Taking the registry lock waits out any sweeper flush in progress;
+  // clearing an already-cleared flag is harmless.
+  pthread_mutex_lock(&RegistryLock);
+  TC.Seized.store(0, std::memory_order_relaxed);
+  pthread_mutex_unlock(&RegistryLock);
+}
+
 ThreadCacheTally threadCacheTally(const ThreadCacheAnchor &Anchor) {
   ThreadCacheTally Tally;
   pthread_mutex_lock(&RegistryLock);

@@ -194,6 +194,36 @@ public:
   /// (capacity >= slotsPerClass()). \returns the number removed.
   size_t takeSurplus(int Class, void **Out, uint32_t Keep);
 
+  // --- Sweeper handshake and epoch stamp (active only with the epoch
+  // --- sweeper on; see ShardedHeap's sweeper documentation) ---------------
+
+  /// Owner side, bracket entry: marks a cache operation in flight. The
+  /// seq_cst store forms a Dekker pair with the sweeper's seq_cst
+  /// Seized-store/InOp-load in threadCacheAgeQuiet(): either the sweeper
+  /// observes the op and backs off, or the owner observes the seizure and
+  /// serializes through the registry lock. Never called on the default
+  /// (sweeper-off) configuration, so the lock-free fast path is untouched.
+  void beginOp() { InOp.store(1, std::memory_order_seq_cst); }
+
+  /// Owner side: true when the sweeper has (or may still hold) this cache
+  /// seized; the owner must pass through threadCacheUnseize() before
+  /// touching its buffers.
+  bool seizedBySweeper() const {
+    return Seized.load(std::memory_order_seq_cst) != 0;
+  }
+
+  /// Owner side, bracket exit.
+  void endOp() { InOp.store(0, std::memory_order_release); }
+
+  /// Stamps the owner's last-activity epoch (called at the owning heap's
+  /// cache-lookup boundary, never inside pop/push themselves).
+  void stampEpoch(uint64_t Epoch) {
+    LastEpoch.store(Epoch, std::memory_order_relaxed);
+  }
+  uint64_t lastEpoch() const {
+    return LastEpoch.load(std::memory_order_relaxed);
+  }
+
 private:
   ThreadCache(ShardedHeap *OwningHeap, ThreadCacheAnchor *HeapAnchor,
               uint64_t OwningHeapId, uint32_t HomeShard,
@@ -210,6 +240,9 @@ private:
   friend void threadCacheRetireHeap(ThreadCacheAnchor &Anchor);
   friend ThreadCacheTally threadCacheTally(const ThreadCacheAnchor &Anchor);
   friend void threadCacheExitFlush(void *);
+  friend size_t threadCacheAgeQuiet(ThreadCacheAnchor &Anchor,
+                                    uint64_t Epoch);
+  friend void threadCacheUnseize(ThreadCache &TC);
 
   /// The trailing per-class slot arrays and deferred array live directly
   /// after the object inside its mapping.
@@ -249,6 +282,16 @@ private:
   /// Occupancy of the deferred-free buffer. Owner-written, racy-readable.
   std::atomic<uint32_t> DeferredUsed{0};
 
+  // Sweeper handshake state (quiescent zeroes with the sweeper off).
+  /// Last sweep epoch at which the owner made an allocator call.
+  std::atomic<uint64_t> LastEpoch{0};
+  /// Owner-op-in-flight flag for the Dekker handshake with the sweeper.
+  std::atomic<uint32_t> InOp{0};
+  /// Set by the sweeper while it owns the cache's buffers (under the
+  /// registry lock); the owner re-synchronizes through the registry lock
+  /// when it observes the flag.
+  std::atomic<uint32_t> Seized{0};
+
   // Adaptive-sizing state: owner-thread-only plain words (never read off
   // the owner thread; stats snapshots sum Counts, not targets).
   uint32_t TargetK[SizeClass::NumClasses];
@@ -280,6 +323,20 @@ ThreadCacheTally threadCacheTally(const ThreadCacheAnchor &Anchor);
 /// The process-global pthread-key destructor: flushes and destroys every
 /// cache of the exiting thread. Exposed only so the key can point at it.
 void threadCacheExitFlush(void *);
+
+/// Sweeper side: ages out every cache on \p Anchor whose owner has been
+/// quiet for at least two sweep epochs and which still holds cached slots
+/// or deferred frees — the whole cache is flushed through the owning heap's
+/// ordinary full-flush path (deferred frees included) without the owner
+/// thread exiting. Runs under the registry lock; each candidate is seized
+/// with the Dekker handshake and skipped (not waited for) when its owner is
+/// mid-operation. \returns the number of caches aged.
+size_t threadCacheAgeQuiet(ThreadCacheAnchor &Anchor, uint64_t Epoch);
+
+///// Owner side: clears this cache's seized flag, serializing with any
+/// in-flight sweeper flush via the registry lock. Called when a bracketed
+/// cache operation observes seizedBySweeper().
+void threadCacheUnseize(ThreadCache &TC);
 
 } // namespace diehard
 

@@ -41,6 +41,16 @@
 ///                       it and return the surplus slots to their
 ///                       partition. Off by default; meaningless without
 ///                       the thread cache.
+///   DIEHARD_SWEEPER     "1" starts the background epoch sweeper: periodic
+///                       passes drain idle partitions' remote-free
+///                       sidecars, age out quiet threads' caches, return
+///                       the pages of fully empty partitions to the OS and
+///                       publish the pressure table overflow routing ranks
+///                       from. Off by default, and forced off in
+///                       replicated mode — a concurrent maintenance thread
+///                       would perturb a replica's per-seed determinism.
+///   DIEHARD_SWEEP_MS    milliseconds between sweeper passes (default 100,
+///                       clamped to >= 1); meaningless without the sweeper
 ///   DIEHARD_STATS       "1" dumps a JSON stats line (the lock-free
 ///                       statsApprox() snapshot) at process exit to the
 ///                       process's startup stderr; any other value is
@@ -188,14 +198,16 @@ void dumpStatsAtExit() {
   if (H == nullptr || StatsFd < 0)
     return;
   diehard::DieHardStats S = H->statsApprox();
-  char Line[640];
+  char Line[832];
   int N = std::snprintf(
       Line, sizeof(Line),
       "{\"diehard_stats\":{\"allocations\":%llu,\"frees\":%llu,"
       "\"failed\":%llu,\"ignored_frees\":%llu,\"large_allocations\":%llu,"
       "\"large_frees\":%llu,\"overflow\":%llu,\"cached_slots\":%llu,"
       "\"cache_refills\":%llu,\"cache_flushes\":%llu,"
-      "\"remote_frees\":%llu,\"sidecar_drains\":%llu,\"probes\":%llu}}\n",
+      "\"remote_frees\":%llu,\"sidecar_drains\":%llu,"
+      "\"sweep_passes\":%llu,\"sweeper_drained\":%llu,"
+      "\"aged_caches\":%llu,\"pages_returned\":%llu,\"probes\":%llu}}\n",
       static_cast<unsigned long long>(S.Allocations),
       static_cast<unsigned long long>(S.Frees),
       static_cast<unsigned long long>(S.FailedAllocations),
@@ -208,6 +220,10 @@ void dumpStatsAtExit() {
       static_cast<unsigned long long>(S.CacheFlushes),
       static_cast<unsigned long long>(S.RemoteFrees),
       static_cast<unsigned long long>(S.SidecarDrains),
+      static_cast<unsigned long long>(S.SweepPasses),
+      static_cast<unsigned long long>(S.SweeperDrainedRemote),
+      static_cast<unsigned long long>(S.AgedCaches),
+      static_cast<unsigned long long>(S.PagesReturned),
       static_cast<unsigned long long>(S.Probes));
   if (N > 0)
     (void)!::write(StatsFd, Line, static_cast<size_t>(N));
@@ -231,6 +247,12 @@ ShardedHeap *constructHeap() {
   Options.OverflowRouting = envFlag("DIEHARD_OVERFLOW", true);
   Options.ThreadCacheSlots = envThreadCache(IsReplica);
   Options.ThreadCacheAdaptive = envFlag("DIEHARD_TCACHE_ADAPT", false);
+  // Replicas never run the sweeper: its thread would interleave with the
+  // replica's allocation sequence and break per-seed determinism.
+  Options.Sweeper = !IsReplica && envFlag("DIEHARD_SWEEPER", false);
+  size_t SweepMs = envSize("DIEHARD_SWEEP_MS", Options.SweepIntervalMs);
+  Options.SweepIntervalMs =
+      SweepMs > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(SweepMs);
   ShardedHeap *H = new (HeapStorage) ShardedHeap(Options);
   ConstructingHeap = false;
   TheHeap.store(H, std::memory_order_release);
@@ -410,6 +432,26 @@ size_t diehard_remote_frees(void) {
 size_t diehard_tcache_target_k(int Class) {
   ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
   return H != nullptr ? H->threadCacheTargetK(Class) : 0;
+}
+
+/// Completed epoch-sweeper passes (see DIEHARD_SWEEPER); 0 with the
+/// sweeper off or before the heap exists. Lock-free.
+size_t diehard_sweep_passes(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->sweepPasses()) : 0;
+}
+
+/// Quiet thread caches the sweeper has aged out so far. Lock-free.
+size_t diehard_aged_caches(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->agedCaches()) : 0;
+}
+
+/// Pages of fully empty partitions returned to the OS by the sweeper.
+/// Lock-free.
+size_t diehard_pages_returned(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->pagesReturned()) : 0;
 }
 
 } // extern "C"

@@ -12,6 +12,7 @@
 #include "support/MmapRegion.h"
 
 #include <cassert>
+#include <cstdint>
 
 #include <sys/mman.h>
 #include <unistd.h>
@@ -67,6 +68,19 @@ bool MmapRegion::protectNone(size_t Offset, size_t Len) {
   assert(Offset + Len <= Size && "guard range out of bounds");
   char *Start = static_cast<char *>(Base) + Offset;
   return ::mprotect(Start, Len, PROT_NONE) == 0;
+}
+
+size_t MmapRegion::releasePages(void *Ptr, size_t Len) {
+  const size_t Page = pageSize();
+  auto Begin = reinterpret_cast<uintptr_t>(Ptr);
+  uintptr_t First = (Begin + Page - 1) & ~(Page - 1);
+  uintptr_t Last = (Begin + Len) & ~(Page - 1);
+  if (First >= Last)
+    return 0;
+  if (::madvise(reinterpret_cast<void *>(First), Last - First,
+                MADV_DONTNEED) != 0)
+    return 0;
+  return Last - First;
 }
 
 size_t MmapRegion::pageSize() {

@@ -62,6 +62,14 @@ public:
   /// \returns true on success.
   bool protectNone(size_t Offset, size_t Len);
 
+  /// Returns the physical pages fully contained in [\p Ptr, \p Ptr + \p Len)
+  /// to the OS with madvise(MADV_DONTNEED): the virtual range stays mapped
+  /// and demand-zero, only the resident pages are dropped. The range is
+  /// clipped inward to page boundaries, so callers may pass arbitrary object
+  /// ranges. \returns the number of bytes released (0 when no full page fits
+  /// in the range or the kernel refused the advice).
+  static size_t releasePages(void *Ptr, size_t Len);
+
   /// Returns the system page size.
   static size_t pageSize();
 

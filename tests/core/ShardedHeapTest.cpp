@@ -154,6 +154,9 @@ TEST(ShardedHeapTest, CrossThreadFreeReturnsToOwningShard) {
   });
   Freer.join();
 
+  // The cross-shard frees ride the lock-free sidecars; materialize them
+  // before auditing the live gauges.
+  H.drainRemoteFrees();
   DieHardStats S = H.stats();
   EXPECT_EQ(S.Allocations, static_cast<uint64_t>(Count));
   EXPECT_EQ(S.Frees, static_cast<uint64_t>(Count));
@@ -278,6 +281,7 @@ TEST(ShardedHeapTest, StatsAggregateAcrossShardsAndLargePath) {
   for (void *P : All)
     H.deallocate(P);
   H.deallocate(Large);
+  H.drainRemoteFrees(); // Materialize the sidecar-parked cross-shard frees.
   EXPECT_EQ(H.bytesLive(), 0u);
   EXPECT_EQ(H.stats().LargeFrees, 1u);
 }
@@ -326,6 +330,7 @@ TEST(ShardedHeapTest, CrossThreadReallocPreservesData) {
   EXPECT_LT(H.shardIndexOf(Q), H.numShards());
   (void)HomeOfMain; // The old slot is freed on its owner either way.
   H.deallocate(Q);
+  H.drainRemoteFrees(); // Both frees crossed shards via the sidecars.
   EXPECT_EQ(H.bytesLive(), 0u);
 }
 
@@ -462,8 +467,13 @@ TEST(ShardedHeapTest, OverflowRoutesToLeastLoadedSibling) {
   EXPECT_EQ(H.stats().FailedAllocations, 0u)
       << "a detour that succeeds is not a failed allocation";
 
-  // The borrowed object frees back to its owner like any cross-shard free.
+  // The borrowed object frees back to its owner like any cross-shard free
+  // (a sidecar push; drain to materialize it before reading the gauge).
   H.deallocate(Borrowed);
+  // Even without the cache tier, the cross-shard free must have gone
+  // through the owner's sidecar — never the remote partition mutex.
+  EXPECT_EQ(H.remoteFrees(), 1u);
+  H.drainRemoteFrees();
   EXPECT_EQ(H.shard(Sibling).liveInClass(C), 0u);
   for (void *P : Held)
     H.deallocate(P);
@@ -520,6 +530,7 @@ TEST(ShardedHeapTest, OverflowStopsWhenEverySiblingIsSaturated) {
   H.deallocate(Other);
   for (void *P : Held)
     H.deallocate(P);
+  H.drainRemoteFrees(); // Half of Held lived on the sibling shard.
   EXPECT_EQ(H.bytesLive(), 0u);
 }
 
@@ -660,6 +671,7 @@ TEST(ShardedHeapTest, ConcurrentMixedStress) {
     H.deallocate(P);
 
   EXPECT_EQ(Failures.load(), 0);
+  H.drainRemoteFrees(); // Exchange frees crossed shards via the sidecars.
   DieHardStats S = H.stats();
   EXPECT_EQ(S.Allocations, S.Frees);
   EXPECT_EQ(S.LargeAllocations, S.LargeFrees);

@@ -20,6 +20,9 @@
 ///      up via dlsym, absent when not preloaded) must report zero cached
 ///      slots once every worker thread has joined and the main thread has
 ///      flushed — i.e. thread-exit flushing leaks nothing.
+///   5. Sweeper liveness: with DIEHARD_SWEEPER=1 the background epoch
+///      sweeper must complete at least one pass while the victim waits
+///      after the stress; its hooks must be callable regardless.
 ///
 /// Prints "MT-SHARD-OK" and exits 0 when every check passes.
 ///
@@ -29,6 +32,7 @@
 #include <malloc.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -258,6 +262,38 @@ int main() {
                     C, TargetK(C));
         return 1;
       }
+  }
+
+  // Sweeper observability hooks: always callable; with DIEHARD_SWEEPER=1
+  // the background thread must complete at least one pass within a few
+  // intervals of all this allocator traffic going quiet.
+  auto SweepPasses = reinterpret_cast<size_t (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_sweep_passes"));
+  auto AgedCaches = reinterpret_cast<size_t (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_aged_caches"));
+  auto PagesReturned = reinterpret_cast<size_t (*)()>(
+      ::dlsym(RTLD_DEFAULT, "diehard_pages_returned"));
+  if (SweepPasses != nullptr && AgedCaches != nullptr &&
+      PagesReturned != nullptr) {
+    (void)AgedCaches();    // Must be callable and lock-free at any time.
+    (void)PagesReturned();
+    const char *Sweeper = std::getenv("DIEHARD_SWEEPER");
+    const char *Replicated = std::getenv("DIEHARD_REPLICATED");
+    // Replicated mode forces the sweeper off (determinism), so no pass
+    // will ever complete there no matter what the env asks for.
+    bool Replicating = Replicated != nullptr && Replicated[0] == '1';
+    if (Sweeper != nullptr && Sweeper[0] == '1' && !Replicating) {
+      bool Swept = false;
+      for (int Tick = 0; Tick < 400 && !Swept; ++Tick) {
+        Swept = SweepPasses() > 0;
+        if (!Swept)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!Swept) {
+        std::puts("MT-SHARD-FAIL: sweeper enabled but no pass completed");
+        return 1;
+      }
+    }
   }
 
   if (Failures.load() != 0) {
