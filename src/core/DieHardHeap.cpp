@@ -182,8 +182,10 @@ void *DieHardHeap::reallocate(void *Ptr, size_t NewSize) {
     return nullptr;
   }
   size_t OldSize = getObjectSize(Ptr);
-  if (OldSize == 0)
+  if (OldSize == 0) {
+    ++ReallocRejectCount;
     return nullptr; // Not one of ours; refuse rather than corrupt.
+  }
   // Small objects can grow in place up to their rounded class size.
   if (Heap.contains(Ptr) && NewSize <= OldSize &&
       NewSize > OldSize / 2)
@@ -241,6 +243,7 @@ DieHardStats DieHardHeap::stats() const {
   S.LargeFrees = LargeFreeCount;
   S.FailedAllocations += LargeFailedCount;
   S.IgnoredFrees += ForeignIgnoredFrees;
+  S.ReallocRejects = ReallocRejectCount;
   return S;
 }
 

@@ -93,6 +93,11 @@ struct DieHardStats {
   uint64_t LargeFrees = 0;        ///< Successful large frees.
   uint64_t FailedAllocations = 0; ///< Requests refused (partition full).
   uint64_t IgnoredFrees = 0;      ///< Invalid/double frees ignored.
+  uint64_t ReallocRejects = 0;    ///< realloc() of a pointer that is not a
+                                  ///< live heap object, refused (nullptr
+                                  ///< returned, no state touched) — the
+                                  ///< realloc-entry analogue of
+                                  ///< IgnoredFrees.
   uint64_t Probes = 0;            ///< Bitmap probes across all allocations.
   uint64_t ProbeFallbacks = 0;    ///< Times the linear fallback scan ran.
   uint64_t OverflowAllocations = 0; ///< Allocations served by a sibling
@@ -295,6 +300,7 @@ private:
   uint64_t LargeFreeCount = 0;
   uint64_t LargeFailedCount = 0;
   uint64_t ForeignIgnoredFrees = 0;
+  uint64_t ReallocRejectCount = 0;
   size_t LargeLiveBytes = 0;
 };
 

@@ -182,6 +182,12 @@ uint32_t ShardedHeap::homeShard() const {
   return (T - 1) % static_cast<uint32_t>(Shards.size());
 }
 
+void ShardedHeap::pinThreadToken(uint32_t Token) {
+  // Offset by one: zero is homeShard()'s "unassigned" sentinel, so a pin
+  // of token 0 must still stick (and map to shard 0).
+  ThreadToken = Token + 1;
+}
+
 void *ShardedHeap::allocateSmallIn(uint32_t Index, int Class, size_t Size) {
   Shard &S = *Shards[Index];
   std::lock_guard<std::mutex> Guard(partitionLock(S, Class));
@@ -515,6 +521,14 @@ uint64_t ShardedHeap::pendingRemoteFrees() const {
   return Total;
 }
 
+uint64_t ShardedHeap::remoteFreeRejects() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).remoteFreeRejects();
+  return Total;
+}
+
 size_t ShardedHeap::threadCacheTargetK(int Class) const {
   if (CacheSlotsPerClass == 0 || Class < 0 ||
       Class >= DieHardHeap::NumPartitions)
@@ -625,8 +639,10 @@ void *ShardedHeap::reallocate(void *Ptr, size_t NewSize) {
   // final free all work against the same resolution.
   uint32_t Owner = ownerOf(Ptr);
   size_t OldSize = sizeOfOwned(Ptr, Owner);
-  if (OldSize == 0)
+  if (OldSize == 0) {
+    ReallocRejectCount.fetch_add(1, std::memory_order_relaxed);
     return nullptr; // Not one of ours; refuse rather than corrupt.
+  }
 
   // Same in-place rule as DieHardHeap: small objects may shrink (or re-grow)
   // within their rounded size class.
@@ -685,6 +701,7 @@ DieHardStats ShardedHeap::sharedCounterSnapshot() const {
   Total.OverflowAllocations = OverflowCount.load(std::memory_order_relaxed);
   Total.FailedAllocations +=
       OverflowFailedCount.load(std::memory_order_relaxed);
+  Total.ReallocRejects = ReallocRejectCount.load(std::memory_order_relaxed);
   Total.SweepPasses = SweepPassCount.load(std::memory_order_relaxed);
   Total.AgedCaches = AgedCacheCount.load(std::memory_order_relaxed);
   return Total;

@@ -300,6 +300,16 @@ public:
   /// The calling thread's home shard index.
   size_t homeShardIndex() const { return homeShard(); }
 
+  /// Pins the calling thread's shard token so its home shard becomes
+  /// Token % numShards() on every ShardedHeap, replacing whatever token
+  /// the thread had (or would have been handed by the process-global
+  /// round-robin). Replay harnesses call this — tokens are normally
+  /// assigned first-come-first-served across the whole process, so a
+  /// thread's home shard depends on how many threads allocated before it
+  /// since process start; pinning removes that ambient history from the
+  /// placement sequence and makes (input, seed) a complete replay key.
+  static void pinThreadToken(uint32_t Token);
+
   /// Behaviour counters aggregated across every shard, the large-object
   /// path and the thread-cache tier (including OverflowAllocations and the
   /// Cache* fields). Takes each partition lock briefly plus the cache
@@ -344,6 +354,13 @@ public:
 
   /// Sidecar pushes not yet drained, across all partitions. Lock-free.
   uint64_t pendingRemoteFrees() const;
+
+  /// Push-time sidecar rejects (double/invalid cross-shard frees caught at
+  /// the CAS, before ever reaching a partition lock), across all
+  /// partitions. Already folded into stats().IgnoredFrees; exposed
+  /// separately so tests can pin down *which* path caught an injected
+  /// error. Lock-free read.
+  uint64_t remoteFreeRejects() const;
 
   /// The calling thread's current adaptive batch size K for size class
   /// \p Class — ThreadCacheSlots until adaptation moves it — or 0 when the
@@ -394,6 +411,21 @@ public:
   /// partition was at its 1/M bound. Lock-free read.
   uint64_t overflowAllocations() const {
     return OverflowCount.load(std::memory_order_relaxed);
+  }
+
+  /// Small allocations that failed outright with overflow routing on (home
+  /// and every probed sibling saturated). Folded into
+  /// stats().FailedAllocations; exposed separately for exactly-once
+  /// counter tests. Lock-free read.
+  uint64_t overflowFailedAllocations() const {
+    return OverflowFailedCount.load(std::memory_order_relaxed);
+  }
+
+  /// Wild reallocs refused: reallocate() of a pointer no shard or large
+  /// object owns returns nullptr without touching any state, and counts
+  /// here (and in stats().ReallocRejects). Lock-free read.
+  uint64_t reallocRejects() const {
+    return ReallocRejectCount.load(std::memory_order_relaxed);
   }
 
   /// Fill level of class \p Class on shard \p ShardIndex relative to its
@@ -611,6 +643,9 @@ private:
   /// meaningful ("refusals the caller saw"), and the whole-request
   /// failure is recorded here instead.
   std::atomic<uint64_t> OverflowFailedCount{0};
+
+  /// Wild reallocs refused (pointer owned by no shard or large object).
+  std::atomic<uint64_t> ReallocRejectCount{0};
 
   /// Frees of pointers no shard or large object owns (e.g. pre-shim
   /// allocations of the dynamic loader). Atomic so the foreign-free path

@@ -1,0 +1,33 @@
+//===- fuzz/FuzzEntry.cpp - libFuzzer entry point -------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The libFuzzer shell around the differential driver, built only under
+/// DIEHARD_BUILD_FUZZERS (clang + -fsanitize=fuzzer; see docs/USAGE.md).
+/// A differential-check failure aborts with the driver's message so
+/// libFuzzer saves the input as an artifact; crashes and sanitizer
+/// reports are findings in their own right.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzDriver.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *Data, size_t Size) {
+  diehard::fuzz::FuzzResult R = diehard::fuzz::runFuzzSequence(Data, Size);
+  if (!R.Ok) {
+    std::fprintf(stderr,
+                 "DIEHARD FUZZ FAILURE (seed %llu, %llu ops): %s\n",
+                 static_cast<unsigned long long>(diehard::fuzz::fuzzBaseSeed()),
+                 static_cast<unsigned long long>(R.OpsExecuted),
+                 R.Message.c_str());
+    std::abort();
+  }
+  return 0;
+}

@@ -207,7 +207,8 @@ void dumpStatsAtExit() {
       "\"cache_refills\":%llu,\"cache_flushes\":%llu,"
       "\"remote_frees\":%llu,\"sidecar_drains\":%llu,"
       "\"sweep_passes\":%llu,\"sweeper_drained\":%llu,"
-      "\"aged_caches\":%llu,\"pages_returned\":%llu,\"probes\":%llu}}\n",
+      "\"aged_caches\":%llu,\"pages_returned\":%llu,\"probes\":%llu,"
+      "\"realloc_rejects\":%llu}}\n",
       static_cast<unsigned long long>(S.Allocations),
       static_cast<unsigned long long>(S.Frees),
       static_cast<unsigned long long>(S.FailedAllocations),
@@ -224,7 +225,8 @@ void dumpStatsAtExit() {
       static_cast<unsigned long long>(S.SweeperDrainedRemote),
       static_cast<unsigned long long>(S.AgedCaches),
       static_cast<unsigned long long>(S.PagesReturned),
-      static_cast<unsigned long long>(S.Probes));
+      static_cast<unsigned long long>(S.Probes),
+      static_cast<unsigned long long>(S.ReallocRejects));
   if (N > 0)
     (void)!::write(StatsFd, Line, static_cast<size_t>(N));
 }
@@ -310,7 +312,10 @@ void *malloc(size_t Size) {
     if (FromBootstrap)
       return bootstrapAllocate(Size);
   }
-  return H->allocate(Size != 0 ? Size : 1);
+  void *Ptr = H->allocate(Size != 0 ? Size : 1);
+  if (Ptr == nullptr)
+    errno = ENOMEM;
+  return Ptr;
 }
 
 void free(void *Ptr) {
@@ -336,7 +341,10 @@ void *calloc(size_t Count, size_t Size) {
       return Ptr;
     }
   }
-  return H->allocateZeroed(Count, Size != 0 ? Size : 1);
+  void *Ptr = H->allocateZeroed(Count, Size != 0 ? Size : 1);
+  if (Ptr == nullptr)
+    errno = ENOMEM; // Covers the Count * Size overflow refusal too.
+  return Ptr;
 }
 
 void *realloc(void *Ptr, size_t Size) {
@@ -357,7 +365,12 @@ void *realloc(void *Ptr, size_t Size) {
       copyFromBootstrap(Fresh, Ptr, Size);
     return Fresh;
   }
-  return H->reallocate(Ptr, Size);
+  void *Fresh = H->reallocate(Ptr, Size);
+  // Size == 0 is the free-and-return-null contract, not a failure; a wild
+  // pointer is refused with ENOMEM rather than the abort glibc would do.
+  if (Fresh == nullptr && Size != 0)
+    errno = ENOMEM;
+  return Fresh;
 }
 
 int posix_memalign(void **Out, size_t Alignment, size_t Size) {
@@ -382,13 +395,22 @@ int posix_memalign(void **Out, size_t Alignment, size_t Size) {
 }
 
 void *aligned_alloc(size_t Alignment, size_t Size) {
+  // Unlike posix_memalign, these report through errno.
   void *Ptr = nullptr;
-  return posix_memalign(&Ptr, Alignment, Size) == 0 ? Ptr : nullptr;
+  int Err = posix_memalign(&Ptr, Alignment, Size);
+  if (Err == 0)
+    return Ptr;
+  errno = Err;
+  return nullptr;
 }
 
 void *memalign(size_t Alignment, size_t Size) {
   void *Ptr = nullptr;
-  return posix_memalign(&Ptr, Alignment, Size) == 0 ? Ptr : nullptr;
+  int Err = posix_memalign(&Ptr, Alignment, Size);
+  if (Err == 0)
+    return Ptr;
+  errno = Err;
+  return nullptr;
 }
 
 size_t malloc_usable_size(void *Ptr) {

@@ -1,0 +1,199 @@
+//===- tests/core/ApiContractTest.cpp -------------------------------------===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation-API contracts asserted directly at the library layer, on both
+/// the lone DieHardHeap and the ShardedHeap front end (the shim-level
+/// mirror of these contracts lives in tests/interpose/ContractVictim.cpp,
+/// which additionally runs against glibc). Everything here is semantics a
+/// caller may rely on regardless of randomization: calloc overflow
+/// refusal, realloc's null/zero/preservation rules, usable-size floors,
+/// and nullptr discipline.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/DieHardHeap.h"
+#include "core/ShardedHeap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace diehard {
+namespace {
+
+DieHardOptions smallHeap(uint64_t Seed) {
+  DieHardOptions O;
+  O.HeapSize = 32 * 1024 * 1024;
+  O.Seed = Seed;
+  return O;
+}
+
+ShardedHeapOptions shardedOptions(uint64_t Seed, size_t Shards) {
+  ShardedHeapOptions O;
+  O.Heap = smallHeap(Seed);
+  O.NumShards = Shards;
+  return O;
+}
+
+TEST(ApiContractTest, CallocOverflowRefusedOnBothLayers) {
+  DieHardHeap Lone(smallHeap(41));
+  ShardedHeap Sharded(shardedOptions(41, 2));
+  ASSERT_TRUE(Lone.isValid());
+  ASSERT_TRUE(Sharded.isValid());
+
+  // Count * Size wrapping must fail, never wrap into a small allocation.
+  EXPECT_EQ(Lone.allocateZeroed(SIZE_MAX / 2, 3), nullptr);
+  EXPECT_EQ(Lone.allocateZeroed(SIZE_MAX, SIZE_MAX), nullptr);
+  EXPECT_EQ(Lone.allocateZeroed(SIZE_MAX / 4 + 1, 4), nullptr);
+  EXPECT_EQ(Sharded.allocateZeroed(SIZE_MAX / 2, 3), nullptr);
+  EXPECT_EQ(Sharded.allocateZeroed(SIZE_MAX, SIZE_MAX), nullptr);
+  EXPECT_EQ(Sharded.allocateZeroed(SIZE_MAX / 4 + 1, 4), nullptr);
+
+  // The refusal is an arithmetic guard, not an allocation attempt: the
+  // books record no failed allocation for it.
+  EXPECT_EQ(Lone.stats().FailedAllocations, 0u);
+  EXPECT_EQ(Sharded.stats().FailedAllocations, 0u);
+
+  // The boundary product that does NOT wrap is served (and zeroed).
+  void *Edge = Lone.allocateZeroed(3, 5);
+  ASSERT_NE(Edge, nullptr);
+  Lone.deallocate(Edge);
+}
+
+TEST(ApiContractTest, CallocZeroesEveryByteEvenWithRandomFill) {
+  // Random object fill (replica mode) runs before the zeroing; no fill
+  // byte may leak through the calloc contract.
+  DieHardOptions O = smallHeap(43);
+  O.RandomFillObjects = true;
+  O.RandomFillOnFree = true;
+  DieHardHeap Heap(O);
+  ASSERT_TRUE(Heap.isValid());
+  for (size_t Size : {1u, 7u, 64u, 1000u, 20000u}) {
+    unsigned char *P =
+        static_cast<unsigned char *>(Heap.allocateZeroed(3, Size));
+    ASSERT_NE(P, nullptr) << Size;
+    for (size_t I = 0; I < 3 * Size; ++I)
+      ASSERT_EQ(P[I], 0u) << "byte " << I << " of calloc(3, " << Size << ")";
+    Heap.deallocate(P);
+  }
+}
+
+TEST(ApiContractTest, ReallocNullAndZeroSemantics) {
+  ShardedHeap Heap(shardedOptions(47, 2));
+  ASSERT_TRUE(Heap.isValid());
+
+  // realloc(NULL, n) behaves as malloc(n).
+  void *P = Heap.reallocate(nullptr, 48);
+  ASSERT_NE(P, nullptr);
+  EXPECT_GE(Heap.getObjectSize(P), 48u);
+
+  // realloc(p, 0) frees and returns null; the object is gone.
+  EXPECT_EQ(Heap.reallocate(P, 0), nullptr);
+  EXPECT_EQ(Heap.getObjectSize(P), 0u);
+
+  DieHardStats S = Heap.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+}
+
+TEST(ApiContractTest, ReallocPreservesContentsAcrossTheSizeSpectrum) {
+  ShardedHeap Heap(shardedOptions(53, 2));
+  ASSERT_TRUE(Heap.isValid());
+
+  // Walk the object through growth steps that cross size-class boundaries
+  // and the small/large frontier; the prefix must survive every move.
+  size_t Size = 5;
+  unsigned char *P = static_cast<unsigned char *>(Heap.allocate(Size));
+  ASSERT_NE(P, nullptr);
+  for (size_t I = 0; I < Size; ++I)
+    P[I] = static_cast<unsigned char>(I * 37 + 11);
+
+  while (Size < 100000) {
+    size_t NewSize = Size * 3 + 1;
+    unsigned char *Q =
+        static_cast<unsigned char *>(Heap.reallocate(P, NewSize));
+    ASSERT_NE(Q, nullptr) << NewSize;
+    for (size_t I = 0; I < Size; ++I)
+      ASSERT_EQ(Q[I], static_cast<unsigned char>(I * 37 + 11))
+          << "byte " << I << " after growth to " << NewSize;
+    // Extend the pattern over the new tail for the next round.
+    for (size_t I = Size; I < NewSize; ++I)
+      Q[I] = static_cast<unsigned char>(I * 37 + 11);
+    P = Q;
+    Size = NewSize;
+  }
+
+  // And back down: shrinking preserves the shorter prefix.
+  unsigned char *R = static_cast<unsigned char *>(Heap.reallocate(P, 9));
+  ASSERT_NE(R, nullptr);
+  for (size_t I = 0; I < 9; ++I)
+    EXPECT_EQ(R[I], static_cast<unsigned char>(I * 37 + 11));
+  Heap.deallocate(R);
+
+  DieHardStats S = Heap.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+  EXPECT_EQ(S.LargeAllocations, S.LargeFrees);
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+}
+
+TEST(ApiContractTest, UsableSizeNeverUndercutsTheRequest) {
+  DieHardHeap Lone(smallHeap(59));
+  ShardedHeap Sharded(shardedOptions(59, 3));
+  ASSERT_TRUE(Lone.isValid());
+  ASSERT_TRUE(Sharded.isValid());
+
+  for (size_t Size = 1; Size <= 40000; Size = Size * 2 + 3) {
+    void *P = Lone.allocate(Size);
+    void *Q = Sharded.allocate(Size);
+    ASSERT_NE(P, nullptr) << Size;
+    ASSERT_NE(Q, nullptr) << Size;
+    EXPECT_GE(Lone.getObjectSize(P), Size);
+    EXPECT_GE(Sharded.getObjectSize(Q), Size);
+    // The reported size is a real floor: writing that many bytes is safe
+    // (verified the hard way — sanitizer configs would trip here).
+    std::memset(P, 0x7E, Lone.getObjectSize(P));
+    std::memset(Q, 0x7E, Sharded.getObjectSize(Q));
+    Lone.deallocate(P);
+    Sharded.deallocate(Q);
+  }
+}
+
+TEST(ApiContractTest, NullAndForeignPointerQueriesAreInert) {
+  ShardedHeap Heap(shardedOptions(61, 2));
+  ASSERT_TRUE(Heap.isValid());
+
+  EXPECT_EQ(Heap.getObjectSize(nullptr), 0u);
+  Heap.deallocate(nullptr); // free(NULL) is a no-op, not an ignored free.
+
+  int Stack = 0;
+  EXPECT_EQ(Heap.getObjectSize(&Stack), 0u);
+
+  DieHardStats S = Heap.stats();
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+  EXPECT_EQ(S.Allocations, 0u);
+}
+
+TEST(ApiContractTest, ZeroByteAllocationsAreDistinctAndFreeable) {
+  // The library maps 0 to a minimal allocation at the shim layer; directly
+  // the contract is: allocate(1) objects are distinct, freeable, and do
+  // not alias.
+  ShardedHeap Heap(shardedOptions(67, 2));
+  ASSERT_TRUE(Heap.isValid());
+  void *A = Heap.allocate(1);
+  void *B = Heap.allocate(1);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A, B);
+  Heap.deallocate(A);
+  Heap.deallocate(B);
+  DieHardStats S = Heap.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+}
+
+} // namespace
+} // namespace diehard

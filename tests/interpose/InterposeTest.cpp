@@ -302,4 +302,54 @@ TEST(InterposeTest, CppBinaryWithNewDelete) {
   EXPECT_EQ(R.Output, "ok\n");
 }
 
+// --- API-contract victim -----------------------------------------------------
+// ContractVictim.cpp asserts the portable POSIX/C allocation contracts
+// (calloc overflow refusal, posix_memalign validation, realloc semantics,
+// malloc_usable_size floors, errno on failure). Running it both ways keeps
+// the suite honest: a contract the system allocator fails would be a bogus
+// test, and a contract the shim fails is a real finding.
+
+TEST(InterposeTest, ContractVictimPassesAgainstSystemAllocator) {
+  // No LD_PRELOAD: run the victim directly against glibc.
+  FILE *Pipe = ::popen(DIEHARD_CONTRACT_VICTIM_PATH, "r");
+  ASSERT_NE(Pipe, nullptr);
+  std::string Output;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Pipe)) > 0)
+    Output.append(Buf, N);
+  int Status = ::pclose(Pipe);
+  EXPECT_EQ(WIFEXITED(Status) ? WEXITSTATUS(Status) : -1, 0) << Output;
+  EXPECT_EQ(Output, "CONTRACT-OK\n");
+}
+
+TEST(InterposeTest, ContractVictimPassesUnderShim) {
+  // DIEHARD_CONTRACT_SHIM additionally enables the documented shim
+  // divergences (alignment above a page refused with ENOMEM, aligned_alloc
+  // validation glibc only gained in 2.38).
+  RunResult R = runPreloaded(DIEHARD_CONTRACT_VICTIM_PATH,
+                             "DIEHARD_CONTRACT_SHIM=1");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "CONTRACT-OK\n");
+}
+
+TEST(InterposeTest, ContractVictimPassesUnderShardedCachedShim) {
+  // The contracts must hold in the scaled configuration too: shards plus
+  // the lock-free thread-cache tier in front of them.
+  RunResult R = runPreloaded(
+      DIEHARD_CONTRACT_VICTIM_PATH,
+      "DIEHARD_CONTRACT_SHIM=1 DIEHARD_SHARDS=4 DIEHARD_TCACHE=8");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "CONTRACT-OK\n");
+}
+
+TEST(InterposeTest, ContractVictimPassesUnderReplicatedFill) {
+  // Random object fill must never leak through calloc's zeroing or
+  // realloc's preserved prefix.
+  RunResult R = runPreloaded(DIEHARD_CONTRACT_VICTIM_PATH,
+                             "DIEHARD_CONTRACT_SHIM=1 DIEHARD_REPLICATED=1");
+  EXPECT_EQ(R.ExitCode, 0) << R.Output;
+  EXPECT_EQ(R.Output, "CONTRACT-OK\n");
+}
+
 } // namespace
