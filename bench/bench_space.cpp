@@ -24,6 +24,19 @@
 /// partition's pages go back to the OS within a couple of sweep passes and
 /// the resident set falls back toward its starting point.
 ///
+/// A third table is the production-footprint matrix: a churn workload
+/// that pins one live object in every size-class partition (so no
+/// partition is ever fully empty and only *partial* page return can shed
+/// anything), bursts, frees, and idles — across the page-return policies
+/// (off / dontneed / free) and the sweeper switch. Under MADV_FREE the
+/// kernel keeps lazily-freed pages resident until pressure, so the
+/// matrix reports effective RSS = resident - LazyFree (from
+/// /proc/self/smaps_rollup) alongside the raw number.
+///
+/// After the tables the bench emits one line starting with "JSON: " —
+/// the machine-readable summary CI archives and diffs against the
+/// committed baseline (BENCH_space.json) via tools/bench_compare.py.
+///
 //===----------------------------------------------------------------------===//
 
 #include "baselines/AdaptiveAllocator.h"
@@ -32,11 +45,14 @@
 #include "baselines/LeaAllocator.h"
 #include "bench/BenchUtil.h"
 #include "core/ShardedHeap.h"
+#include "core/SizeClass.h"
+#include "support/MmapRegion.h"
 #include "workloads/WorkloadSuite.h"
 
 #include <cstdio>
 #include <cstring>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include <sys/resource.h>
@@ -83,6 +99,24 @@ long currentRssKb() {
   if (N != 2)
     return 0;
   return ResidentPages * (::sysconf(_SC_PAGESIZE) / 1024);
+}
+
+/// The process's lazily-freed resident pages in KB, from
+/// /proc/self/smaps_rollup. MADV_FREE'd pages stay in RSS until memory
+/// pressure reclaims them; subtracting LazyFree gives the footprint the
+/// process would shrink to under pressure ("effective RSS"). Returns 0
+/// where the kernel has no smaps_rollup or no LazyFree accounting.
+long lazyFreeKb() {
+  std::FILE *F = std::fopen("/proc/self/smaps_rollup", "r");
+  if (F == nullptr)
+    return 0;
+  char Line[256];
+  long Kb = 0;
+  while (std::fgets(Line, sizeof(Line), F) != nullptr)
+    if (std::sscanf(Line, "LazyFree: %ld kB", &Kb) == 1)
+      break;
+  std::fclose(F);
+  return Kb;
 }
 
 /// RSS samples (KB) at the four interesting moments of the burst-and-idle
@@ -147,6 +181,109 @@ RssTimeline rssTimeline(bool Sweeper) {
   return T;
 }
 
+/// One cell of the production-footprint matrix: a page-return policy plus
+/// the sweeper switch, and the RSS trajectory the combination produced.
+struct ChurnSample {
+  const char *Name = "";
+  PageReturnPolicy Policy = PageReturnPolicy::DontNeed;
+  bool Sweeper = true;
+  long Start = 0;        ///< KB, heap mapped and partitions pinned.
+  long Burst = 0;        ///< KB, at the top of the churn burst.
+  long Idle = 0;         ///< KB, after the idle tail (raw resident).
+  long IdleLazyFree = 0; ///< KB of that still resident only as LazyFree.
+  /// The number the matrix compares: what the process actually holds once
+  /// lazily-freed pages are discounted.
+  long effectiveIdle() const { return Idle - IdleLazyFree; }
+};
+
+/// Runs the pinned-partition churn scenario in a forked child: one live
+/// object pinned in every size-class partition (so the fully-empty path
+/// can never fire and every returned page is a *partial* return), then a
+/// burst of page-spanning objects, free them all, idle for many sweep
+/// epochs. Fills in the sample's RSS fields through a pipe.
+void churnTimeline(ChurnSample &S) {
+  int Fds[2];
+  if (::pipe(Fds) != 0)
+    return;
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    return;
+  }
+  if (Pid == 0) {
+    ::close(Fds[0]);
+    MmapRegion::setPageReturnPolicy(S.Policy);
+    {
+      ShardedHeapOptions O;
+      O.Heap.HeapSize = 256 * 1024 * 1024;
+      O.Heap.Seed = 0x5BACE;
+      O.NumShards = 1;
+      O.ThreadCacheSlots = 0;
+      O.Sweeper = S.Sweeper;
+      O.SweepIntervalMs = 10;
+      ShardedHeap Heap(O);
+      std::vector<void *> Pins;
+      for (int C = 0; C < SizeClass::NumClasses; ++C) {
+        size_t Size = SizeClass::classToSize(C);
+        void *P = Heap.allocate(Size);
+        if (P != nullptr) {
+          std::memset(P, 0x77, Size);
+          Pins.push_back(P);
+        }
+      }
+      S.Start = currentRssKb();
+      std::vector<void *> Objects;
+      Objects.reserve(8192 + 2048);
+      for (int I = 0; I < 8192; ++I) {
+        void *P = Heap.allocate(4096);
+        if (P == nullptr)
+          break;
+        std::memset(P, 0xAB, 4096);
+        Objects.push_back(P);
+      }
+      for (int I = 0; I < 2048; ++I) {
+        void *P = Heap.allocate(16384);
+        if (P == nullptr)
+          break;
+        std::memset(P, 0xCD, 16384);
+        Objects.push_back(P);
+      }
+      S.Burst = currentRssKb();
+      for (void *P : Objects)
+        Heap.deallocate(P);
+      ::usleep(200 * 1000); // Idle tail: twenty sweep epochs.
+      S.Idle = currentRssKb();
+      S.IdleLazyFree = lazyFreeKb();
+      for (void *P : Pins)
+        Heap.deallocate(P);
+    }
+    MmapRegion::setPageReturnPolicy(PageReturnPolicy::DontNeed);
+    (void)!::write(Fds[1], &S, sizeof(S));
+    ::close(Fds[1]);
+    ::_exit(0);
+  }
+  ::close(Fds[1]);
+  ChurnSample Filled = S;
+  if (::read(Fds[0], &Filled, sizeof(Filled)) ==
+      static_cast<ssize_t>(sizeof(Filled)))
+    S = Filled;
+  ::close(Fds[0]);
+  int Status = 0;
+  ::waitpid(Pid, &Status, 0);
+}
+
+/// Accumulates every measurement for the trailing JSON summary.
+std::string JsonRows;
+
+void recordJson(const char *Scenario, const char *Config, long ValueKb) {
+  char Row[160];
+  std::snprintf(Row, sizeof(Row),
+                "%s{\"scenario\":\"%s\",\"config\":\"%s\",\"value\":%ld}",
+                JsonRows.empty() ? "" : ",", Scenario, Config, ValueKb);
+  JsonRows += Row;
+}
+
 } // namespace
 
 int main() {
@@ -164,6 +301,7 @@ int main() {
   });
   std::printf("%-26s %14.1f %13.2fx\n", "lea (freelist)",
               Baseline / 1024.0, 1.0);
+  recordJson("peak_espresso", "lea", Baseline);
 
   long Gc = peakRssKb([] {
     GcAllocator A(size_t(768) << 20, 16 << 20);
@@ -172,6 +310,7 @@ int main() {
   });
   std::printf("%-26s %14.1f %13.2fx\n", "bdw-gc-sim", Gc / 1024.0,
               static_cast<double>(Gc) / Baseline);
+  recordJson("peak_espresso", "gc", Gc);
 
   long Fixed = peakRssKb([] {
     DieHardOptions O;
@@ -183,6 +322,7 @@ int main() {
   });
   std::printf("%-26s %14.1f %13.2fx\n", "diehard (fixed, M=2)",
               Fixed / 1024.0, static_cast<double>(Fixed) / Baseline);
+  recordJson("peak_espresso", "diehard_fixed", Fixed);
 
   long Adaptive = peakRssKb([] {
     AdaptiveOptions O;
@@ -193,6 +333,7 @@ int main() {
   });
   std::printf("%-26s %14.1f %13.2fx\n", "diehard (adaptive, M=2)",
               Adaptive / 1024.0, static_cast<double>(Adaptive) / Baseline);
+  recordJson("peak_espresso", "diehard_adaptive", Adaptive);
 
   bench::printRule();
   std::printf("Shape: freelist is the compact baseline; the collector\n"
@@ -224,5 +365,44 @@ int main() {
               "(freed bitmap slots keep their data pages resident until a\n"
               "sweep pass returns the empty partition's pages to the OS).\n",
               On.Freed - On.Idle, Off.Freed - Off.Idle);
+
+  // Production-footprint matrix: pinned partitions force *partial* page
+  // return; the policies and the sweeper switch are crossed so the table
+  // shows which knob buys what.
+  std::printf("\npartial page return under churn "
+              "(one pinned object per partition)\n");
+  bench::printRule();
+  std::printf("%-22s %9s %9s %9s %9s %11s\n", "config", "start KB",
+              "burst KB", "idle KB", "lazyfree", "eff. idle");
+  bench::printRule();
+  ChurnSample Matrix[] = {
+      {"return-off", PageReturnPolicy::Off, true},
+      {"dontneed-nosweep", PageReturnPolicy::DontNeed, false},
+      {"dontneed", PageReturnPolicy::DontNeed, true},
+      {"free", PageReturnPolicy::Free, true},
+  };
+  for (ChurnSample &S : Matrix) {
+    churnTimeline(S);
+    std::printf("%-22s %9ld %9ld %9ld %9ld %11ld\n", S.Name, S.Start,
+                S.Burst, S.Idle, S.IdleLazyFree, S.effectiveIdle());
+    recordJson("churn_idle", S.Name, S.effectiveIdle());
+  }
+  bench::printRule();
+  const ChurnSample &ReturnOff = Matrix[0];
+  const ChurnSample &DontNeed = Matrix[2];
+  double Shed =
+      ReturnOff.effectiveIdle() > 0
+          ? 100.0 * (ReturnOff.effectiveIdle() - DontNeed.effectiveIdle()) /
+                ReturnOff.effectiveIdle()
+          : 0.0;
+  std::printf("steady-state idle RSS with dontneed+sweeper is %.0f%% below\n"
+              "page-return-off (span scanner returns object-free pages of\n"
+              "partitions that are still live; MADV_FREE parks them as\n"
+              "LazyFree until memory pressure).\n",
+              Shed);
+
+  std::printf("\nJSON: {\"bench\":\"space\",\"lower_is_better\":true,"
+              "\"unit\":\"kb\",\"results\":[%s]}\n",
+              JsonRows.c_str());
   return 0;
 }

@@ -137,6 +137,8 @@ void addPartitionStats(DieHardStats &Total, const RandomizedPartition &P) {
   Total.SidecarDrains += PS.SidecarDrains;
   Total.SweeperDrainedRemote += PS.SweeperDrained;
   Total.PagesReturned += PS.PagesReturned;
+  Total.PartialReturns += PS.PartialReturns;
+  Total.SpansReleased += PS.SpansReleased;
   // Push-time rejects are double/invalid frees the sidecar refused; they
   // never reach a partition's IgnoredFrees counter, so fold them here.
   Total.IgnoredFrees += P.remoteFreeRejects();

@@ -119,8 +119,12 @@ struct DieHardStats {
   uint64_t SweepPasses = 0;          ///< Completed sweeper passes.
   uint64_t SweeperDrainedRemote = 0; ///< Sidecar entries drained by sweeps.
   uint64_t AgedCaches = 0;           ///< Quiet thread caches aged out.
-  uint64_t PagesReturned = 0;        ///< Empty-partition pages returned to
-                                     ///< the OS (MADV_DONTNEED).
+  uint64_t PagesReturned = 0;        ///< Object-free data pages returned to
+                                     ///< the OS by the span scanner.
+  uint64_t PartialReturns = 0;       ///< maintain() scans that released
+                                     ///< pages from a partition.
+  uint64_t SpansReleased = 0;        ///< Contiguous page runs advised away
+                                     ///< (one madvise call each).
 };
 
 /// Folds one partition's counters into \p Total: the PartitionStats

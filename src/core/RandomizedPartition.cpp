@@ -75,6 +75,27 @@ bool RandomizedPartition::init(void *RegionBase, size_t ObjectBytes,
   RemoteDrained.store(0, std::memory_order_relaxed);
   if (!SidecarLinks.map(NumSlots * sizeof(uint32_t)))
     return false;
+  // Link words are probed on every remote free and drain — like the bitmap,
+  // always-resident metadata worth huge-page backing under DIEHARD_THP.
+  SidecarLinks.adviseHugePages();
+
+  // Page-return geometry: only pages lying entirely inside the data region
+  // are ever released. Partition bases are 4K-aligned in practice, making
+  // that the whole region; on systems with larger pages the edge pages
+  // shared with neighbours are simply never returned.
+  const size_t Page = MmapRegion::pageSize();
+  auto RegionBegin = reinterpret_cast<uintptr_t>(Base);
+  uintptr_t RegionEnd = RegionBegin + NumSlots * ObjectBytes;
+  uintptr_t AlignedBegin = (RegionBegin + Page - 1) & ~(Page - 1);
+  uintptr_t AlignedEnd = RegionEnd & ~(Page - 1);
+  FirstPage = reinterpret_cast<char *>(AlignedBegin);
+  NumDataPages =
+      AlignedBegin < AlignedEnd ? (AlignedEnd - AlignedBegin) / Page : 0;
+  ReleasedPages.store(0, std::memory_order_relaxed);
+  LastScanFreeStamp.store(0, std::memory_order_relaxed);
+  if (NumDataPages != 0 &&
+      !ReleasedSummary.map(((NumDataPages + 63) / 64) * sizeof(uint64_t)))
+    return false;
   return IsAllocated.size() == NumSlots;
 }
 
@@ -119,8 +140,10 @@ void *RandomizedPartition::allocate() {
   InUse.fetch_add(1, std::memory_order_relaxed);
   ++Stats.Allocations;
   LiveBytes.fetch_add(ObjectSize, std::memory_order_relaxed);
-  if (Released.load(std::memory_order_relaxed))
-    Released.store(false, std::memory_order_relaxed);
+  // One relaxed load is all the hot path pays for partial page return; the
+  // per-page bookkeeping runs only while released pages actually exist.
+  if (ReleasedPages.load(std::memory_order_relaxed) != 0)
+    clearReleasedForSlot(Index);
   char *Ptr = Base + Index * ObjectSize;
   if (FillOnAllocate)
     randomFill(Ptr, ObjectSize);
@@ -144,6 +167,8 @@ size_t RandomizedPartition::claimRandomSlots(void **Out, size_t MaxCount) {
     size_t Index = claimCleanSlot(Probes, Fallbacks);
     if (Index == Slots)
       break; // Unreachable below the threshold; stay defensive.
+    if (ReleasedPages.load(std::memory_order_relaxed) != 0)
+      clearReleasedForSlot(Index);
     Out[N++] = Base + Index * ObjectSize;
   }
   Stats.Probes += Probes;
@@ -151,8 +176,6 @@ size_t RandomizedPartition::claimRandomSlots(void **Out, size_t MaxCount) {
   Stats.ClaimedSlots += N;
   InUse.fetch_add(N, std::memory_order_relaxed);
   LiveBytes.fetch_add(N * ObjectSize, std::memory_order_relaxed);
-  if (N != 0 && Released.load(std::memory_order_relaxed))
-    Released.store(false, std::memory_order_relaxed);
 
   // Shuffle so the order a cache hands slots out is independent of the
   // order they were claimed (Fisher-Yates from this partition's stream).
@@ -261,22 +284,105 @@ size_t RandomizedPartition::drainRemoteFrees() {
   return N;
 }
 
+void RandomizedPartition::clearReleasedForSlot(size_t Index) {
+  // Pages the slot's bytes overlap, clamped to the releasable data pages.
+  // A slot straddling a page boundary un-marks both sides: any page about
+  // to hold live data must be considered resident again so a later scan
+  // can re-advise it once the neighbourhood goes quiet.
+  const size_t Page = MmapRegion::pageSize();
+  auto First = reinterpret_cast<uintptr_t>(FirstPage);
+  uintptr_t SlotBegin = reinterpret_cast<uintptr_t>(Base) + Index * ObjectSize;
+  uintptr_t SlotLast = SlotBegin + ObjectSize - 1;
+  if (SlotLast < First)
+    return;
+  size_t P0 = SlotBegin > First ? (SlotBegin - First) / Page : 0;
+  size_t P1 = (SlotLast - First) / Page;
+  if (P1 >= NumDataPages)
+    P1 = NumDataPages - 1; // Caller guarantees NumDataPages != 0.
+  for (size_t P = P0; P <= P1 && P < NumDataPages; ++P) {
+    uint64_t Mask = uint64_t(1) << (P % 64);
+    uint64_t &Word = releasedWord(P);
+    if (Word & Mask) {
+      Word &= ~Mask;
+      ReleasedPages.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void RandomizedPartition::scanAndReleaseSpans(MaintainOutcome &Out) {
+  const size_t Page = MmapRegion::pageSize();
+  auto First = reinterpret_cast<uintptr_t>(FirstPage);
+  auto RegionBegin = reinterpret_cast<uintptr_t>(Base);
+  size_t Pages = 0, Spans = 0;
+  size_t SlotFrom = 0;
+  while (SlotFrom < Slots) {
+    size_t RunBegin = IsAllocated.findNextClear(SlotFrom);
+    if (RunBegin == Slots)
+      break;
+    size_t RunEnd = IsAllocated.findNextSet(RunBegin);
+    SlotFrom = RunEnd;
+    // Clip the free run's byte range inward to whole pages. A page
+    // overlapped by any set slot (live, cache-claimed, or sidecar-pending)
+    // lies inside no clear run, so objects straddling page boundaries are
+    // respected by construction.
+    uintptr_t ByteBegin = RegionBegin + RunBegin * ObjectSize;
+    uintptr_t ByteEnd = RegionBegin + RunEnd * ObjectSize;
+    uintptr_t PageBegin = (ByteBegin + Page - 1) & ~(Page - 1);
+    uintptr_t PageEnd = ByteEnd & ~(Page - 1);
+    if (PageBegin >= PageEnd)
+      continue;
+    size_t P = (PageBegin - First) / Page;
+    size_t RunPagesEnd = (PageEnd - First) / Page;
+    if (RunPagesEnd > NumDataPages)
+      RunPagesEnd = NumDataPages;
+    // Advise each maximal sub-run of not-yet-released pages in one call.
+    // The summary keeps the scan idempotent per span: an idle partition's
+    // next sweep finds every bit set and issues no syscall.
+    while (P < RunPagesEnd) {
+      while (P < RunPagesEnd && releasedBit(P))
+        ++P;
+      size_t SubBegin = P;
+      while (P < RunPagesEnd && !releasedBit(P))
+        ++P;
+      if (P == SubBegin)
+        continue;
+      size_t Bytes = MmapRegion::releasePageRange(FirstPage + SubBegin * Page,
+                                                 (P - SubBegin) * Page);
+      if (Bytes == 0)
+        continue; // Policy off or the kernel refused: nothing to record.
+      size_t N = Bytes / Page;
+      for (size_t I = SubBegin; I < SubBegin + N; ++I)
+        releasedWord(I) |= uint64_t(1) << (I % 64);
+      ReleasedPages.fetch_add(N, std::memory_order_relaxed);
+      Pages += N;
+      ++Spans;
+    }
+  }
+  if (Pages != 0) {
+    ++Stats.PartialReturns;
+    Stats.PagesReturned += Pages;
+    Stats.SpansReleased += Spans;
+  }
+  Out.PagesReturned += Pages;
+  Out.SpansReleased += Spans;
+}
+
 RandomizedPartition::MaintainOutcome RandomizedPartition::maintain() {
   MaintainOutcome Out;
   Out.Drained = drainRemoteFrees();
   Stats.SweeperDrained += Out.Drained;
-  // Page return: only when the partition is fully empty with nothing in
-  // flight, was not already released, and is not replica-filled (a
-  // demand-zero refault would destroy the pre-randomized contents that
-  // FillOnAllocate partitions hand out). The latch makes repeated sweeps of
-  // an idle heap free: one relaxed load, no syscall.
-  if (InUse.load(std::memory_order_relaxed) == 0 &&
-      SidecarHead.load(std::memory_order_relaxed) == 0 && !FillOnAllocate &&
-      !Released.load(std::memory_order_relaxed)) {
-    size_t Bytes = MmapRegion::releasePages(Base, Slots * ObjectSize);
-    Released.store(true, std::memory_order_relaxed);
-    Out.PagesReturned = Bytes / MmapRegion::pageSize();
-    Stats.PagesReturned += Out.PagesReturned;
+  // Partial page return. The bitmap walk is gated on the free-stamp: an
+  // unchanged stamp means no bit has been cleared since the last scan, so
+  // there is nothing new to release — repeated sweeps of an idle heap cost
+  // two relaxed loads here and no syscall. Replicated-fill partitions skip
+  // data-page return entirely (a demand-zero refault would destroy the
+  // pre-randomized contents FillOnAllocate hands out).
+  if (NumDataPages != 0 && !FillOnAllocate) {
+    uint64_t Stamp = Stats.Frees + Stats.ReturnedSlots;
+    if (Stamp != LastScanFreeStamp.load(std::memory_order_relaxed)) {
+      scanAndReleaseSpans(Out);
+      LastScanFreeStamp.store(Stamp, std::memory_order_relaxed);
+    }
   }
   return Out;
 }

@@ -104,8 +104,11 @@ struct PartitionStats {
   RelaxedCounter ReturnedSlots;     ///< Unused cached slots handed back.
   RelaxedCounter SidecarDrains;     ///< Non-empty remote-free drains.
   RelaxedCounter SweeperDrained;    ///< Sidecar entries drained by maintain().
-  RelaxedCounter PagesReturned;     ///< Pages returned to the OS (empty
-                                    ///< partitions, MADV_DONTNEED).
+  RelaxedCounter PagesReturned;     ///< Object-free data pages handed back to
+                                    ///< the OS by the span scanner.
+  RelaxedCounter PartialReturns;    ///< maintain() scans that released pages.
+  RelaxedCounter SpansReleased;     ///< Contiguous page runs advised away
+                                    ///< (one madvise call each).
 };
 
 /// Claims a free slot in \p Bits: up to 64 uniform random probes, then a
@@ -195,27 +198,53 @@ public:
   struct MaintainOutcome {
     size_t Drained = 0;       ///< Sidecar entries processed.
     size_t PagesReturned = 0; ///< Whole pages handed back to the OS.
+    size_t SpansReleased = 0; ///< Contiguous page runs advised away.
   };
 
   /// Epoch-maintenance entry for the background sweeper. Drains the
   /// remote-free sidecar through the validated deallocate() path (so
-  /// double-free detection fires exactly as an owner drain would), then —
-  /// when the partition is fully empty with nothing in flight — returns the
-  /// data region's pages to the OS with MADV_DONTNEED. Only the demand-zero
-  /// object pages are dropped; the bitmap, live gauges, and threshold are
-  /// untouched, so the 1/M bound and free validation are unchanged and the
-  /// next allocation simply refaults zero pages. Skipped for
-  /// replicated-fill partitions (FillOnAllocate), whose pre-randomized
-  /// contents a refault would destroy, and made idempotent by a Released
-  /// latch that successful allocations clear. Callers hold the partition
-  /// lock in concurrent configurations.
+  /// double-free detection fires exactly as an owner drain would), then
+  /// runs the free-span scanner: every maximal run of clear bits is mapped
+  /// to the pages lying entirely inside it (a page overlapped by any
+  /// bit-set slot — live, cache-claimed, or sidecar-pending — is never
+  /// touched, which handles objects straddling page boundaries for free),
+  /// and each not-yet-released sub-run of those pages is returned to the OS
+  /// through MmapRegion::releasePageRange under the process page-return
+  /// policy. Only demand-zero object pages are dropped; the bitmap, live
+  /// gauges, and threshold are untouched, so the 1/M bound and free
+  /// validation never consult residency. The scan is gated on a free-stamp
+  /// (no frees since the last scan means no new clear bits, so repeated
+  /// sweeps of an idle heap cost two relaxed loads and no bitmap walk) and
+  /// skipped entirely for replicated-fill partitions (FillOnAllocate),
+  /// whose pre-randomized contents a refault would destroy. Callers hold
+  /// the partition lock in concurrent configurations.
   MaintainOutcome maintain();
 
-  /// True while the partition's empty data pages are returned to the OS
-  /// (set by maintain(), cleared by the next successful allocation or slot
-  /// claim). Lock-free gauge.
+  /// True while any of the partition's data pages are returned to the OS
+  /// (set by maintain()'s span scanner, cleared per page by allocations
+  /// landing on it). Lock-free gauge.
   bool pagesReleased() const {
-    return Released.load(std::memory_order_relaxed);
+    return ReleasedPages.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Number of data pages currently returned to the OS. Lock-free gauge.
+  size_t releasedPages() const {
+    return ReleasedPages.load(std::memory_order_relaxed);
+  }
+
+  /// True if a maintain() call now could plausibly release pages: the
+  /// partition has releasable geometry, frees have happened since the last
+  /// span scan, and the fill level is at or below \p FillGate (the sweeper
+  /// skips hot partitions — scanning a bitmap that is mostly set walks
+  /// memory for nothing). Lock-free pre-check; the authoritative re-check
+  /// happens under the partition lock inside maintain().
+  bool pageScanPending(double FillGate) const {
+    if (NumDataPages == 0 || FillOnAllocate)
+      return false;
+    uint64_t Stamp = Stats.Frees + Stats.ReturnedSlots;
+    if (Stamp == LastScanFreeStamp.load(std::memory_order_relaxed))
+      return false;
+    return fill() <= FillGate;
   }
 
   /// Successful sidecar pushes so far. Lock-free gauge.
@@ -317,6 +346,28 @@ private:
   /// before the slot can be reused. \returns the slot index, or Slots.
   size_t claimCleanSlot(uint64_t &Probes, uint64_t &Fallbacks);
 
+  /// Lazily un-marks released pages the freshly claimed slot \p Index
+  /// overlaps, so the next span scan can re-release them once they go
+  /// quiet again. Called only when ReleasedPages != 0 (the hot allocation
+  /// path pays one relaxed load to find that out); runs under the
+  /// partition lock like every other mutation.
+  void clearReleasedForSlot(size_t Index);
+
+  /// The span scanner behind maintain(): walks maximal clear-bit runs,
+  /// clips each inward to page boundaries, and releases the not-yet-
+  /// released page sub-runs. Accumulates into \p Out and the partition
+  /// counters. Requires the partition lock.
+  void scanAndReleaseSpans(MaintainOutcome &Out);
+
+  /// Word/bit accessors of the released-page summary (one bit per data
+  /// page; bit set = page currently advised away).
+  uint64_t &releasedWord(size_t PageIndex) const {
+    return static_cast<uint64_t *>(ReleasedSummary.base())[PageIndex / 64];
+  }
+  bool releasedBit(size_t PageIndex) const {
+    return (releasedWord(PageIndex) >> (PageIndex % 64)) & 1;
+  }
+
   // --- Remote-free sidecar encoding ---------------------------------------
   // SidecarHead: 0 = empty, else slot + 1 of the most recent push.
   // Link word of slot s (in SidecarLinks): 0 = s is not in the sidecar;
@@ -346,10 +397,25 @@ private:
   std::atomic<size_t> LiveBytes{0};
   PartitionStats Stats;
 
-  /// Latch for maintain()'s page return: true while the empty region's
-  /// pages are handed back to the OS, cleared on the next allocation.
-  /// Mutated only under the partition lock; relaxed for lock-free readers.
-  std::atomic<bool> Released{false};
+  // --- Partial page return ------------------------------------------------
+  // The data pages lying entirely inside the region: [FirstPage, FirstPage
+  // + NumDataPages * page size). Edge bytes outside that range share pages
+  // with neighbouring partitions (or metadata) and are never released. The
+  // released-page summary has one bit per data page, lives in its own
+  // demand-zero mapping (committed only when pages actually get released),
+  // and is mutated only under the partition lock; ReleasedPages mirrors its
+  // popcount as a relaxed atomic so the hot allocation path and lock-free
+  // gauges need exactly one relaxed load.
+  char *FirstPage = nullptr;
+  size_t NumDataPages = 0;
+  MmapRegion ReleasedSummary;
+  std::atomic<size_t> ReleasedPages{0};
+
+  /// Free-stamp (Stats.Frees + Stats.ReturnedSlots, both monotonic) at the
+  /// end of the last span scan. An unchanged stamp means no bit has been
+  /// cleared since, so the scan is skipped. Written under the partition
+  /// lock, relaxed so pageScanPending() may read it lock-free.
+  std::atomic<uint64_t> LastScanFreeStamp{0};
 
   /// Remote-free sidecar state. The link array and head are mutated
   /// lock-free by pushers; RemoteDrained and the drain walk are owner-only

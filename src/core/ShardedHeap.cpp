@@ -788,6 +788,22 @@ uint64_t ShardedHeap::pagesReturned() const {
   return Total;
 }
 
+uint64_t ShardedHeap::partialReturns() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).stats().PartialReturns;
+  return Total;
+}
+
+uint64_t ShardedHeap::spansReleased() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).stats().SpansReleased;
+  return Total;
+}
+
 size_t ShardedHeap::sweepOnce() {
   // Callers hold the pass gate (Sweep.Lock); the pass itself takes at most
   // one other lock at a time and never blocks while holding one.
@@ -800,20 +816,22 @@ size_t ShardedHeap::sweepOnce() {
   if (Aged != 0)
     AgedCacheCount.fetch_add(Aged, std::memory_order_relaxed);
 
-  // Layer 1: drain pressured partitions and return the pages of fully
-  // empty ones, then publish the post-maintenance pressure table entry.
+  // Layer 1: drain pressured partitions and run the partial page-return
+  // scan on quiet ones, then publish the post-maintenance pressure table
+  // entry.
   size_t Drained = 0;
   for (uint32_t I = 0; I < Shards.size(); ++I) {
     Shard &S = *Shards[I];
     for (int C = 0; C < DieHardHeap::NumPartitions; ++C) {
       const RandomizedPartition &P = S.Heap.partition(C);
       // Lock only when there is work: pending sidecar entries to drain,
-      // or an empty partition whose pages have not been returned yet.
-      // Replica-filled partitions never release pages (their data must
-      // stay resident for the fill invariant), so skip them.
+      // or frees since the last span scan on a partition at or below the
+      // fill gate (hot partitions are skipped — their bitmaps are mostly
+      // set and the scan would walk memory for little gain). Replica-
+      // filled partitions never pass the pre-check (their data must stay
+      // resident for the fill invariant).
       if (P.hasPendingRemoteFrees() ||
-          (P.live() == 0 && !P.pagesReleased() &&
-           !Opts.Heap.RandomFillObjects)) {
+          P.pageScanPending(PartialReturnFillGate)) {
         std::lock_guard<std::mutex> Guard(partitionLock(S, C));
         Drained += S.Heap.maintain(C).Drained;
       }

@@ -400,9 +400,24 @@ public:
     return AgedCacheCount.load(std::memory_order_relaxed);
   }
 
-  /// Empty-partition pages returned to the OS, across all shards.
-  /// Lock-free read.
+  /// Object-free data pages returned to the OS by the span scanner, across
+  /// all shards. Lock-free read.
   uint64_t pagesReturned() const;
+
+  /// Partition maintain() scans that released at least one page, across
+  /// all shards. Lock-free read.
+  uint64_t partialReturns() const;
+
+  /// Contiguous page runs advised away (one madvise call each), across all
+  /// shards. Lock-free read.
+  uint64_t spansReleased() const;
+
+  /// Fill-ratio gate for the sweeper's partial page return: partitions
+  /// fuller than this are skipped by the pass (a mostly-set bitmap walk
+  /// finds few releasable pages for its cost; the partition will be
+  /// scanned once it quiets down). Exposed so tests can pin workloads on
+  /// either side of the gate.
+  static constexpr double PartialReturnFillGate = 0.5;
 
   /// True when the epoch sweeper is configured and its thread started.
   bool sweeperEnabled() const { return SweeperOn; }

@@ -836,7 +836,22 @@ FuzzConfig decodeFuzzConfig(const uint8_t *Data, size_t Size,
   // Small reservations on purpose: saturation, overflow routing and
   // allocation failure are part of the searched surface.
   C.HeapSize = (B0 & 32) != 0 ? (8u << 20) : (24u << 20);
+  // Bits 6-7 pick the page-return policy. Two of the four codes map to
+  // the DontNeed default so random inputs mostly exercise the production
+  // configuration and the Free / Off corners stay reachable.
+  switch (B0 >> 6) {
+  case 2:
+    C.PageReturn = PageReturnPolicy::Free;
+    break;
+  case 3:
+    C.PageReturn = PageReturnPolicy::Off;
+    break;
+  default:
+    C.PageReturn = PageReturnPolicy::DontNeed;
+    break;
+  }
   C.Workers = (B1 >> 2) & 3;
+  C.SweepIntervalMs = 1 + (B1 >> 4); // 1..16 ms epochs.
   C.Seed = Rng::deriveStream(BaseSeed, 1 + B2 + 256 * B3);
   if (C.Seed == 0)
     C.Seed = 0x5EEDULL; // Zero would select true randomness.
@@ -859,17 +874,28 @@ FuzzResult runFuzzSequence(const uint8_t *Data, size_t Size,
   Opts.ThreadCacheSlots = Cfg.ThreadCacheSlots;
   Opts.ThreadCacheAdaptive = Cfg.Adaptive;
   Opts.Sweeper = Cfg.Sweeper;
-  Opts.SweepIntervalMs = 2; // Fast epochs: aging must happen mid-sequence.
+  // Fast epochs either way: aging must happen mid-sequence.
+  Opts.SweepIntervalMs = Cfg.SweepIntervalMs;
+
+  // The page-return policy is process state; apply the decoded one for the
+  // duration of this sequence and restore whatever the host had. The fuzz
+  // claim being checked: releasing object-free pages mid-sequence never
+  // perturbs placement, contents, or the books.
+  PageReturnPolicy HostPolicy = MmapRegion::pageReturnPolicy();
+  MmapRegion::setPageReturnPolicy(Cfg.PageReturn);
 
   // The driver's home shard comes from the input too, not from how many
   // threads allocated earlier in this process.
   ShardedHeap::pinThreadToken(0);
-  ShardedHeap Heap(Opts);
-  if (!Heap.isValid())
-    return R; // Reservation failure: nothing to differentiate.
-
-  Driver D(R, Heap, Data, Size);
-  D.run();
+  {
+    ShardedHeap Heap(Opts);
+    if (Heap.isValid()) {
+      Driver D(R, Heap, Data, Size);
+      D.run();
+    }
+    // else: reservation failure, nothing to differentiate.
+  }
+  MmapRegion::setPageReturnPolicy(HostPolicy);
   return R;
 }
 

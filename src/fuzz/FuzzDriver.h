@@ -47,6 +47,7 @@
 #define DIEHARD_FUZZ_FUZZDRIVER_H
 
 #include "core/DieHardHeap.h"
+#include "support/MmapRegion.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -75,7 +76,13 @@ struct FuzzConfig {
   size_t NumShards = 1;        ///< 1..4.
   size_t ThreadCacheSlots = 0; ///< 0 (tier off) or 8 (DIEHARD_TCACHE).
   bool Adaptive = false;       ///< DIEHARD_TCACHE_ADAPT.
-  bool Sweeper = false;        ///< DIEHARD_SWEEPER at a 2 ms interval.
+  bool Sweeper = false;        ///< DIEHARD_SWEEPER.
+  size_t SweepIntervalMs = 2;  ///< Sweep epoch length, 1..16 ms.
+  /// DIEHARD_PAGE_RETURN for the run. Off and Free must leave every
+  /// differential check untouched: page return only ever drops pages no
+  /// live object overlaps, so the policy is pure footprint, never
+  /// placement or content.
+  PageReturnPolicy PageReturn = PageReturnPolicy::DontNeed;
   bool Overflow = true;        ///< DIEHARD_OVERFLOW.
   bool RandomFill = false;     ///< Replica-style object fill.
   size_t HeapSize = 0;         ///< Per-shard reservation bytes.

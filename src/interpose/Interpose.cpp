@@ -44,13 +44,23 @@
 ///   DIEHARD_SWEEPER     "1" starts the background epoch sweeper: periodic
 ///                       passes drain idle partitions' remote-free
 ///                       sidecars, age out quiet threads' caches, return
-///                       the pages of fully empty partitions to the OS and
+///                       quiet partitions' object-free pages to the OS and
 ///                       publish the pressure table overflow routing ranks
 ///                       from. Off by default, and forced off in
 ///                       replicated mode — a concurrent maintenance thread
 ///                       would perturb a replica's per-seed determinism.
 ///   DIEHARD_SWEEP_MS    milliseconds between sweeper passes (default 100,
 ///                       clamped to >= 1); meaningless without the sweeper
+///   DIEHARD_PAGE_RETURN how released page spans are handed back to the
+///                       OS: "dontneed" (default; MADV_DONTNEED, RSS drops
+///                       immediately), "free" (MADV_FREE where the kernel
+///                       supports it — pages stay resident until memory
+///                       pressure, cheaper refaults; falls back to
+///                       dontneed), or "off" (never release pages).
+///   DIEHARD_THP         "1" backs the always-resident metadata mappings
+///                       (allocation bitmaps, sidecar link words) with
+///                       transparent huge pages (MADV_HUGEPAGE) to cut TLB
+///                       pressure on the fast path. Off by default.
 ///   DIEHARD_STATS       "1" dumps a JSON stats line (the lock-free
 ///                       statsApprox() snapshot) at process exit to the
 ///                       process's startup stderr; any other value is
@@ -198,7 +208,7 @@ void dumpStatsAtExit() {
   if (H == nullptr || StatsFd < 0)
     return;
   diehard::DieHardStats S = H->statsApprox();
-  char Line[832];
+  char Line[1024];
   int N = std::snprintf(
       Line, sizeof(Line),
       "{\"diehard_stats\":{\"allocations\":%llu,\"frees\":%llu,"
@@ -207,7 +217,8 @@ void dumpStatsAtExit() {
       "\"cache_refills\":%llu,\"cache_flushes\":%llu,"
       "\"remote_frees\":%llu,\"sidecar_drains\":%llu,"
       "\"sweep_passes\":%llu,\"sweeper_drained\":%llu,"
-      "\"aged_caches\":%llu,\"pages_returned\":%llu,\"probes\":%llu,"
+      "\"aged_caches\":%llu,\"pages_returned\":%llu,"
+      "\"partial_returns\":%llu,\"spans_released\":%llu,\"probes\":%llu,"
       "\"realloc_rejects\":%llu}}\n",
       static_cast<unsigned long long>(S.Allocations),
       static_cast<unsigned long long>(S.Frees),
@@ -225,6 +236,8 @@ void dumpStatsAtExit() {
       static_cast<unsigned long long>(S.SweeperDrainedRemote),
       static_cast<unsigned long long>(S.AgedCaches),
       static_cast<unsigned long long>(S.PagesReturned),
+      static_cast<unsigned long long>(S.PartialReturns),
+      static_cast<unsigned long long>(S.SpansReleased),
       static_cast<unsigned long long>(S.Probes),
       static_cast<unsigned long long>(S.ReallocRejects));
   if (N > 0)
@@ -469,11 +482,23 @@ size_t diehard_aged_caches(void) {
   return H != nullptr ? static_cast<size_t>(H->agedCaches()) : 0;
 }
 
-/// Pages of fully empty partitions returned to the OS by the sweeper.
-/// Lock-free.
+/// Object-free data pages returned to the OS by the span scanner (see
+/// DIEHARD_PAGE_RETURN). Lock-free.
 size_t diehard_pages_returned(void) {
   ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
   return H != nullptr ? static_cast<size_t>(H->pagesReturned()) : 0;
+}
+
+/// Partition maintenance scans that released at least one page. Lock-free.
+size_t diehard_partial_returns(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->partialReturns()) : 0;
+}
+
+/// Contiguous page runs advised away (one madvise call each). Lock-free.
+size_t diehard_spans_released(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->spansReleased()) : 0;
 }
 
 } // extern "C"

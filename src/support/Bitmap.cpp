@@ -39,4 +39,19 @@ size_t Bitmap::findNextClear(size_t From) const {
   return Bits;
 }
 
+size_t Bitmap::findNextSet(size_t From) const {
+  for (size_t Index = From; Index < Bits; ++Index) {
+    size_t WordIndex = Index / BitsPerWord;
+    uint64_t Word = words()[WordIndex];
+    // Skip fully-clear words quickly.
+    if (Word == 0) {
+      Index = (WordIndex + 1) * BitsPerWord - 1;
+      continue;
+    }
+    if ((Word >> (Index % BitsPerWord)) & 1)
+      return Index;
+  }
+  return Bits;
+}
+
 } // namespace diehard

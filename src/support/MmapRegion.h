@@ -20,6 +20,23 @@
 
 namespace diehard {
 
+/// How releasePageRange() hands resident pages back to the OS. Resolved
+/// once per process from DIEHARD_PAGE_RETURN (overridable by benches and
+/// tests through setPageReturnPolicy).
+enum class PageReturnPolicy {
+  /// madvise(MADV_DONTNEED): pages drop out of the resident set
+  /// immediately and refault demand-zero. The default — RSS falls the
+  /// moment the advice lands, which keeps footprint measurements honest.
+  DontNeed,
+  /// madvise(MADV_FREE) where the kernel supports it (runtime-detected;
+  /// falls back to MADV_DONTNEED): pages become reclaimable but stay
+  /// resident until memory pressure, and a write before reclaim cancels
+  /// the free — cheaper refaults on churny workloads, lazier RSS.
+  Free,
+  /// Never release pages (the pre-partial-return behaviour).
+  Off,
+};
+
 /// Owns one anonymous, demand-zero memory mapping.
 class MmapRegion {
 public:
@@ -62,13 +79,42 @@ public:
   /// \returns true on success.
   bool protectNone(size_t Offset, size_t Len);
 
-  /// Returns the physical pages fully contained in [\p Ptr, \p Ptr + \p Len)
-  /// to the OS with madvise(MADV_DONTNEED): the virtual range stays mapped
-  /// and demand-zero, only the resident pages are dropped. The range is
-  /// clipped inward to page boundaries, so callers may pass arbitrary object
-  /// ranges. \returns the number of bytes released (0 when no full page fits
-  /// in the range or the kernel refused the advice).
-  static size_t releasePages(void *Ptr, size_t Len);
+  /// Returns the exactly page-aligned range [\p PageBegin, \p PageBegin +
+  /// \p PageBytes) to the OS under the process page-return policy: the
+  /// virtual range stays mapped, only its physical pages are handed back
+  /// (immediately with MADV_DONTNEED, lazily with MADV_FREE). \returns the
+  /// number of bytes the advice covered — 0 when the policy is Off or the
+  /// kernel refused — so callers only account pages that actually left the
+  /// committed set.
+  static size_t releasePageRange(void *PageBegin, size_t PageBytes);
+
+  /// The process page-return policy. First call resolves
+  /// DIEHARD_PAGE_RETURN ("dontneed" | "free" | "off"; default dontneed);
+  /// later calls return the cached value.
+  static PageReturnPolicy pageReturnPolicy();
+
+  /// Overrides the page-return policy (benches and tests; takes effect for
+  /// subsequent releasePageRange calls process-wide).
+  static void setPageReturnPolicy(PageReturnPolicy Policy);
+
+  /// True once a MADV_FREE advice has been observed to work in this
+  /// process; meaningful after the first releasePageRange under the Free
+  /// policy (benches report which mode actually ran).
+  static bool lazyFreeWorks();
+
+  /// Whether always-resident metadata regions should be backed by
+  /// transparent huge pages (MADV_HUGEPAGE). First call resolves
+  /// DIEHARD_THP ("1" enables; default off).
+  static bool hugePageMetadata();
+
+  /// Overrides the metadata-THP switch (tests; affects mappings created
+  /// afterwards).
+  static void setHugePageMetadata(bool On);
+
+  /// Advises the kernel to back this mapping with transparent huge pages,
+  /// if hugePageMetadata() is on. Failure is ignored — THP is a TLB
+  /// optimization, never a correctness requirement.
+  void adviseHugePages() const;
 
   /// Returns the system page size.
   static size_t pageSize();

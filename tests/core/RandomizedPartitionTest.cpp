@@ -401,5 +401,209 @@ TEST(RandomizedPartitionTest, RemoteFreeLifoChainOrder) {
   EXPECT_EQ(F.Partition.pendingRemoteFrees(), 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// Partial page return (the free-span scanner behind maintain())
+//===----------------------------------------------------------------------===//
+
+/// Slot index of \p P inside \p F (the inverse of the placement map —
+/// exact, since geometry is immutable).
+size_t slotOf(const PartitionFixture &F, const void *P) {
+  return static_cast<size_t>(static_cast<const char *>(P) -
+                             static_cast<const char *>(F.Region.base())) /
+         F.Partition.objectBytes();
+}
+
+/// Pins the page-return policy for a test and restores the default (and
+/// the DIEHARD_PAGE_RETURN resolution) afterwards — the policy is process
+/// state shared by every test in the binary.
+struct PolicyGuard {
+  explicit PolicyGuard(PageReturnPolicy P) {
+    MmapRegion::setPageReturnPolicy(P);
+  }
+  ~PolicyGuard() {
+    MmapRegion::setPageReturnPolicy(PageReturnPolicy::DontNeed);
+  }
+};
+
+TEST(RandomizedPartitionTest, SpanScannerReleasesAroundLiveSlot) {
+  // Page-sized objects, so slots and pages coincide: one live slot must
+  // pin exactly one page and the scanner must release everything else as
+  // at most two spans (the runs on either side of the survivor).
+  PolicyGuard Guard(PageReturnPolicy::DontNeed);
+  const size_t Page = MmapRegion::pageSize();
+  PartitionFixture F(Page, 16);
+  std::vector<char *> Held;
+  for (size_t I = 0; I < F.Partition.threshold(); ++I) {
+    auto *P = static_cast<char *>(F.Partition.allocate());
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0xAB, Page); // Dirty the page.
+    Held.push_back(P);
+  }
+  char *Survivor = Held.back();
+  Held.pop_back();
+  for (char *P : Held)
+    ASSERT_TRUE(F.Partition.deallocate(P));
+
+  RandomizedPartition::MaintainOutcome Out = F.Partition.maintain();
+  EXPECT_EQ(Out.PagesReturned, 15u) << "all pages but the survivor's";
+  size_t K = slotOf(F, Survivor);
+  EXPECT_EQ(Out.SpansReleased, (K == 0 || K == 15) ? 1u : 2u);
+  EXPECT_EQ(F.Partition.releasedPages(), 15u);
+  EXPECT_TRUE(F.Partition.pagesReleased());
+
+  // The survivor's data is untouched; the released pages read demand-zero
+  // (MADV_DONTNEED drops the 0xAB fill immediately).
+  for (size_t I = 0; I < Page; ++I)
+    ASSERT_EQ(static_cast<unsigned char>(Survivor[I]), 0xABu) << I;
+  for (char *P : Held)
+    for (size_t I = 0; I < Page; I += 512)
+      ASSERT_EQ(P[I], 0) << "released page must refault zero";
+
+  // Idempotent per span: nothing freed since, so a repeat scan is a no-op
+  // (the free-stamp gate short-circuits before the bitmap walk).
+  Out = F.Partition.maintain();
+  EXPECT_EQ(Out.PagesReturned, 0u);
+  EXPECT_EQ(Out.SpansReleased, 0u);
+  EXPECT_EQ(F.Partition.stats().PartialReturns, 1u);
+}
+
+TEST(RandomizedPartitionTest, SpanScannerRespectsStraddlingObjects) {
+  // 3 KB objects on 4 KB pages: most slots straddle a page boundary. A
+  // page is releasable only when every slot overlapping it is free, and a
+  // live straddler must pin both its pages.
+  PolicyGuard Guard(PageReturnPolicy::DontNeed);
+  const size_t Page = MmapRegion::pageSize();
+  const size_t ObjectSize = 3 * Page / 4;
+  const size_t Slots = 32; // Region: 24 pages (for Page == 4096).
+  const size_t DataPages = Slots * ObjectSize / Page;
+  PartitionFixture F(ObjectSize, Slots);
+  std::vector<char *> Held;
+  for (size_t I = 0; I < F.Partition.threshold(); ++I) {
+    auto *P = static_cast<char *>(F.Partition.allocate());
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x77, ObjectSize);
+    Held.push_back(P);
+  }
+  char *Survivor = Held.front();
+  Held.erase(Held.begin());
+  for (char *P : Held)
+    ASSERT_TRUE(F.Partition.deallocate(P));
+
+  size_t K = slotOf(F, Survivor);
+  size_t PinnedPages =
+      (K * ObjectSize + ObjectSize - 1) / Page - (K * ObjectSize) / Page + 1;
+  RandomizedPartition::MaintainOutcome Out = F.Partition.maintain();
+  EXPECT_EQ(Out.PagesReturned, DataPages - PinnedPages)
+      << "survivor at slot " << K << " must pin " << PinnedPages
+      << " page(s), everything else returns";
+  for (size_t I = 0; I < ObjectSize; ++I)
+    ASSERT_EQ(static_cast<unsigned char>(Survivor[I]), 0x77u)
+        << "byte " << I << " of the straddling survivor";
+  EXPECT_EQ(F.Partition.live(), 1u);
+}
+
+TEST(RandomizedPartitionTest, AllocationIntoReleasedSpanRefaultsZero) {
+  // release -> allocate -> the slot's pages drop off the released set and
+  // the object reads demand-zero, never stale pre-release bytes.
+  PolicyGuard Guard(PageReturnPolicy::DontNeed);
+  const size_t Page = MmapRegion::pageSize();
+  PartitionFixture F(Page, 16);
+  std::vector<char *> Held;
+  for (size_t I = 0; I < F.Partition.threshold(); ++I) {
+    auto *P = static_cast<char *>(F.Partition.allocate());
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0xCD, Page);
+    Held.push_back(P);
+  }
+  for (char *P : Held)
+    ASSERT_TRUE(F.Partition.deallocate(P));
+  ASSERT_GT(F.Partition.maintain().PagesReturned, 0u);
+  size_t Released = F.Partition.releasedPages();
+  ASSERT_EQ(Released, 16u) << "empty partition: every page released";
+
+  auto *Fresh = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(Fresh, nullptr);
+  EXPECT_EQ(F.Partition.releasedPages(), Released - 1)
+      << "exactly the fresh slot's page must be un-marked";
+  for (size_t I = 0; I < Page; ++I)
+    ASSERT_EQ(Fresh[I], 0) << "refault must read zero, not stale data";
+  // Writable after the refault (a DONTNEED'ed page is still mapped).
+  std::memset(Fresh, 0x11, Page);
+  EXPECT_EQ(static_cast<unsigned char>(Fresh[Page - 1]), 0x11u);
+}
+
+TEST(RandomizedPartitionTest, DoubleFreeIntoReleasedSpanStillCaught) {
+  // The bitmap never leaves memory, so releasing a span weakens no
+  // validation: a double free aimed into released pages is ignored and
+  // counted exactly as before.
+  PolicyGuard Guard(PageReturnPolicy::DontNeed);
+  const size_t Page = MmapRegion::pageSize();
+  PartitionFixture F(Page, 16);
+  auto *P = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(P, nullptr);
+  std::memset(P, 0xEE, Page);
+  ASSERT_TRUE(F.Partition.deallocate(P));
+  ASSERT_GT(F.Partition.maintain().PagesReturned, 0u);
+
+  EXPECT_FALSE(F.Partition.deallocate(P)) << "double free into released span";
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 1u);
+  EXPECT_FALSE(F.Partition.deallocate(P + Page / 2)) << "misaligned too";
+  EXPECT_EQ(F.Partition.stats().IgnoredFrees, 2u);
+  EXPECT_EQ(F.Partition.stats().Frees, 1u);
+}
+
+TEST(RandomizedPartitionTest, SpanScannerHonoursThePolicySwitch) {
+  // DIEHARD_PAGE_RETURN=off must leave the scanner inert: no pages, no
+  // spans, no released-set growth — and turning the policy back on after
+  // new frees resumes releasing.
+  const size_t Page = MmapRegion::pageSize();
+  PartitionFixture F(Page, 16);
+  {
+    PolicyGuard Off(PageReturnPolicy::Off);
+    auto *P = static_cast<char *>(F.Partition.allocate());
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x55, Page);
+    ASSERT_TRUE(F.Partition.deallocate(P));
+    RandomizedPartition::MaintainOutcome Out = F.Partition.maintain();
+    EXPECT_EQ(Out.PagesReturned, 0u);
+    EXPECT_EQ(Out.SpansReleased, 0u);
+    EXPECT_FALSE(F.Partition.pagesReleased());
+    // The dirtied page kept its contents: off really means off.
+    EXPECT_EQ(static_cast<unsigned char>(P[0]), 0x55u);
+  }
+  // Policy restored to DontNeed; a new free re-arms the stamp gate.
+  auto *Q = static_cast<char *>(F.Partition.allocate());
+  ASSERT_NE(Q, nullptr);
+  ASSERT_TRUE(F.Partition.deallocate(Q));
+  EXPECT_GT(F.Partition.maintain().PagesReturned, 0u);
+}
+
+TEST(RandomizedPartitionTest, ClaimedSlotsPinTheirPages) {
+  // Cache-claimed slots are bit-set without being user-visible: the
+  // scanner must treat them as live (their pages hold data a cache may
+  // hand out) and reclaiming them must make the pages releasable again.
+  PolicyGuard Guard(PageReturnPolicy::DontNeed);
+  const size_t Page = MmapRegion::pageSize();
+  PartitionFixture F(Page, 16);
+  // One alloc/free primes the free-stamp so the scans below actually run
+  // (a partition that never freed anything has nothing new to release).
+  void *Primer = F.Partition.allocate();
+  ASSERT_NE(Primer, nullptr);
+  ASSERT_TRUE(F.Partition.deallocate(Primer));
+
+  void *Claimed[4];
+  ASSERT_EQ(F.Partition.claimRandomSlots(Claimed, 4), 4u);
+  RandomizedPartition::MaintainOutcome Out = F.Partition.maintain();
+  EXPECT_EQ(Out.PagesReturned, 12u)
+      << "the four claimed slots' pages must stay resident";
+  EXPECT_EQ(F.Partition.releasedPages(), 12u);
+
+  F.Partition.reclaimSlots(Claimed, 4);
+  Out = F.Partition.maintain();
+  EXPECT_EQ(Out.PagesReturned, 4u)
+      << "reclaimed slots free their pages for the next scan";
+  EXPECT_EQ(F.Partition.releasedPages(), 16u);
+}
+
 } // namespace
 } // namespace diehard

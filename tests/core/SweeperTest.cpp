@@ -6,11 +6,12 @@
 ///
 /// \file
 /// Tests for the epoch sweeper: sidecar drains without owner activity,
-/// aging of quiet threads' caches without the threads exiting, page return
-/// of fully empty partitions with the bitmap metadata (and so double-free
-/// detection) intact, double frees exposed at the sweeper's own drains,
-/// the stale-pressure-table fallback of overflow routing, and a
-/// sweeper-vs-allocator stress run for the sanitizer lanes.
+/// aging of quiet threads' caches without the threads exiting, partial
+/// page return of quiet partitions' free spans with the bitmap metadata
+/// (and so double-free detection) intact, the fill-ratio gate that keeps
+/// the scanner off hot partitions, double frees exposed at the sweeper's
+/// own drains, the stale-pressure-table fallback of overflow routing, and
+/// sweeper-vs-allocator stress runs for the sanitizer lanes.
 ///
 /// Deterministic cases construct the heap with the sweeper on but an
 /// hour-long interval and drive passes synchronously with sweepNow(); the
@@ -213,9 +214,10 @@ TEST(SweeperTest, AgesOutQuietThreadCacheWithoutThreadExit) {
 }
 
 TEST(SweeperTest, EmptyPartitionPagesReturnToTheOS) {
-  // A fully empty partition hands its data pages back (MADV_DONTNEED)
-  // exactly once per empty period; the bitmap metadata stays resident, so
-  // the 1/M bound, placement and free validation continue unchanged.
+  // The degenerate span-scanner case: a fully empty partition is one
+  // maximal free run, so every data page goes back to the OS; the bitmap
+  // metadata stays resident, so the 1/M bound, placement and free
+  // validation continue unchanged.
   ShardedHeap H(sweeperOptions(1, /*CacheSlots=*/0));
   ASSERT_TRUE(H.isValid());
   int Class = SizeClass::sizeToClass(4096);
@@ -237,25 +239,114 @@ TEST(SweeperTest, EmptyPartitionPagesReturnToTheOS) {
   EXPECT_GE(Returned, 8u) << "eight dirtied 4 KB objects span >= 8 pages";
   EXPECT_TRUE(H.shard(0).partition(Class).pagesReleased());
 
-  // Idempotent: the Released latch stops repeat madvise storms.
+  // Idempotent: no frees since the last scan, so a repeat sweep issues no
+  // madvise (and does not even walk the bitmap).
   H.sweepNow();
   EXPECT_EQ(H.pagesReturned(), Returned);
 
-  // The metadata survived: a stale double free is still caught...
+  // The metadata survived: a stale double free into the released span is
+  // still caught...
   H.deallocate(Held.front());
   EXPECT_EQ(H.stats().IgnoredFrees, 1u);
-  // ...and allocation re-arms the latch, so the next empty period returns
-  // pages again.
+  // ...and an allocation un-marks only the pages its slot overlaps — the
+  // rest of the partition stays released.
   void *Fresh = H.allocate(4096);
   ASSERT_NE(Fresh, nullptr);
+  size_t AllReleased = H.shard(0).partition(Class).releasedPages();
   std::memset(Fresh, 0x31, 4096);
-  EXPECT_FALSE(H.shard(0).partition(Class).pagesReleased());
+  EXPECT_TRUE(H.shard(0).partition(Class).pagesReleased());
+  EXPECT_LT(H.shard(0).partition(Class).releasedPages(), Returned)
+      << "the fresh slot's pages must drop off the released set";
+  EXPECT_GT(AllReleased, 0u);
+  // Freeing it re-arms the scan: the refaulted pages return again.
   H.deallocate(Fresh);
   H.sweepNow();
   EXPECT_GT(H.pagesReturned(), Returned);
   DieHardStats S = H.stats();
   EXPECT_EQ(S.Allocations, S.Frees);
   EXPECT_EQ(S.PagesReturned, H.pagesReturned());
+  EXPECT_GE(S.PartialReturns, 2u);
+  EXPECT_GE(S.SpansReleased, 2u);
+}
+
+TEST(SweeperTest, PartialReturnReleasesAroundPinnedObject) {
+  // The asymmetry the span scanner removes: one live object used to pin
+  // its entire size-class region. Now only the pages its slot overlaps
+  // stay resident; every other free span goes back to the OS.
+  ShardedHeap H(sweeperOptions(1, /*CacheSlots=*/0));
+  ASSERT_TRUE(H.isValid());
+  int Class = SizeClass::sizeToClass(4096);
+
+  std::vector<char *> Held;
+  for (int I = 0; I < 16; ++I) {
+    auto *P = static_cast<char *>(H.allocate(4096));
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x5A, 4096);
+    Held.push_back(P);
+  }
+  char *Pinned = Held.back();
+  Held.pop_back();
+  for (char *P : Held)
+    H.deallocate(P);
+  EXPECT_EQ(H.shard(0).partition(Class).live(), 1u);
+
+  H.sweepNow();
+  EXPECT_TRUE(H.shard(0).partition(Class).pagesReleased())
+      << "a single live object must no longer pin the whole region";
+  EXPECT_GE(H.pagesReturned(), 15u)
+      << "every dirtied page except the pinned object's must return";
+  // The pinned object's data survived the release around it.
+  for (size_t I = 0; I < 4096; ++I)
+    ASSERT_EQ(Pinned[I], 0x5A) << "byte " << I << " of the live object";
+
+  // A double free aimed into the released span is still caught: the
+  // bitmap never left memory.
+  H.deallocate(Held.front());
+  EXPECT_EQ(H.stats().IgnoredFrees, 1u);
+
+  H.deallocate(Pinned);
+  H.sweepNow();
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
+  EXPECT_EQ(H.bytesLive(), 0u);
+}
+
+TEST(SweeperTest, FillGateSkipsHotPartitions) {
+  // The sweeper only scans partitions at or below the fill gate: a hot
+  // partition's bitmap is mostly set, so walking it would cost memory
+  // traffic for almost no releasable pages.
+  ShardedHeap H(sweeperOptions(1, /*CacheSlots=*/0));
+  ASSERT_TRUE(H.isValid());
+  int Class = SizeClass::sizeToClass(4096);
+  size_t Threshold = H.shard(0).thresholdForClass(Class);
+  ASSERT_GT(Threshold, 4u);
+
+  // Fill past the gate, then free one object: frees have happened since
+  // the last scan, but the partition is too hot to be scanned.
+  size_t Hot =
+      static_cast<size_t>(ShardedHeap::PartialReturnFillGate *
+                          static_cast<double>(Threshold)) +
+      2;
+  std::vector<void *> Held;
+  for (size_t I = 0; I < Hot; ++I) {
+    auto *P = static_cast<char *>(H.allocate(4096));
+    ASSERT_NE(P, nullptr);
+    std::memset(P, 0x42, 4096);
+    Held.push_back(P);
+  }
+  H.deallocate(Held.back());
+  Held.pop_back();
+  H.sweepNow();
+  EXPECT_EQ(H.pagesReturned(), 0u)
+      << "a partition above the fill gate must not be scanned";
+
+  // Quiet it down below the gate: the very next pass scans and releases.
+  for (void *P : Held)
+    H.deallocate(P);
+  H.sweepNow();
+  EXPECT_GT(H.pagesReturned(), 0u);
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, S.Frees);
 }
 
 TEST(SweeperTest, DoubleFreeCaughtAtSweeperDrain) {
@@ -430,6 +521,99 @@ TEST(SweeperTest, SweeperVersusAllocatorStressStaysConsistent) {
   DieHardStats S = H.stats();
   EXPECT_EQ(S.Allocations, S.Frees)
       << "books must balance at quiescence with the sweeper running";
+  EXPECT_EQ(S.IgnoredFrees, 0u);
+}
+
+TEST(SweeperTest, PartialReturnVersusChurnStressStaysConsistent) {
+  // The partial-return TSan workload: page-spanning objects churn in
+  // bursts while long-held pinned survivors keep every partition
+  // non-empty, so the background sweeper's span scanner is releasing
+  // pages *around* live data the whole run, racing allocations that
+  // refault and un-mark them. Content checks catch a page released under
+  // a live object; the books catch lost or duplicated slots. Scaled by
+  // DIEHARD_STRESS_ITERS for the nightly lane.
+  const int Mult = stressMultiplier();
+  ShardedHeapOptions O = sweeperOptions(2, /*CacheSlots=*/8,
+                                        /*IntervalMs=*/2, /*Seed=*/99);
+  O.Heap.HeapSize = SizeClass::NumClasses * SizeClass::MaxObjectSize * 64;
+  ShardedHeap H(O);
+  ASSERT_TRUE(H.isValid());
+  ASSERT_TRUE(H.sweeperEnabled());
+
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&H, &Failures, T, Mult] {
+      unsigned State = (T + 11) * 2654435761u;
+      auto Next = [&State] {
+        State = State * 1664525u + 1013904223u;
+        return State;
+      };
+      const auto Tag = static_cast<unsigned char>(T + 1);
+      std::vector<std::pair<unsigned char *, size_t>> Live, Pinned;
+      const int Steps = 1500 * Mult;
+      for (int Step = 0; Step < Steps; ++Step) {
+        unsigned Op = Next() % 100;
+        if ((Op < 40 && Live.size() < 200) || Live.empty()) {
+          // Page-spanning sizes: 2 KB to 14 KB, so free spans form and
+          // collapse across page boundaries continuously.
+          size_t Size = 2048 + Next() % (12 * 1024);
+          auto *P = static_cast<unsigned char *>(H.allocate(Size));
+          if (P == nullptr) {
+            ++Failures;
+            return;
+          }
+          std::memset(P, Tag, Size);
+          if (Pinned.size() < 8 && Op % 8 == 0)
+            Pinned.emplace_back(P, Size); // Held to the end: pins pages
+                                          // across hundreds of sweeps.
+          else
+            Live.emplace_back(P, Size);
+        } else {
+          // Free a burst, so whole spans actually go quiet long enough
+          // for a 2 ms sweep to catch them released.
+          size_t Burst = 1 + Next() % 16;
+          while (Burst-- != 0 && !Live.empty()) {
+            auto [P, Size] = Live.back();
+            Live.pop_back();
+            H.deallocate(P);
+          }
+        }
+        if (Op >= 97)
+          for (auto &[P, Size] : Pinned)
+            for (size_t I = 0; I < Size; ++I)
+              if (P[I] != Tag) {
+                ++Failures;
+                return;
+              }
+      }
+      for (auto &[P, Size] : Pinned) {
+        for (size_t I = 0; I < Size; ++I)
+          if (P[I] != Tag) {
+            ++Failures;
+            break;
+          }
+        H.deallocate(P);
+      }
+      for (auto &[P, Size] : Live)
+        H.deallocate(P);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  H.flushThreadCache();
+  H.drainRemoteFrees();
+  H.sweepNow(); // Everything is free now: the final scan releases it all.
+
+  EXPECT_EQ(Failures.load(), 0);
+  EXPECT_GT(H.sweepPasses(), 0u) << "the background thread must have run";
+  EXPECT_GT(H.pagesReturned(), 0u)
+      << "a fully freed heap must shed its dirtied pages";
+  EXPECT_EQ(H.cachedSlots(), 0u);
+  EXPECT_EQ(H.pendingRemoteFrees(), 0u);
+  EXPECT_EQ(H.bytesLive(), 0u);
+  DieHardStats S = H.stats();
+  EXPECT_EQ(S.Allocations, S.Frees)
+      << "books must balance with pages released and refaulted all run";
   EXPECT_EQ(S.IgnoredFrees, 0u);
 }
 

@@ -77,6 +77,7 @@ TEST(FuzzCorpusTest, EveryCommittedInputReplaysClean) {
   uint64_t TotalOps = 0;
   bool SawCached = false, SawUncached = false, SawMultiShard = false;
   bool SawWorkers = false;
+  bool SawPageReturnFree = false, SawPageReturnOff = false;
 
   for (const std::string &Path : Files) {
     std::vector<uint8_t> Bytes = readFile(Path);
@@ -89,6 +90,10 @@ TEST(FuzzCorpusTest, EveryCommittedInputReplaysClean) {
     (R.Config.ThreadCacheSlots != 0 ? SawCached : SawUncached) = true;
     SawMultiShard = SawMultiShard || R.Config.NumShards > 1;
     SawWorkers = SawWorkers || R.Config.Workers > 0;
+    SawPageReturnFree =
+        SawPageReturnFree || R.Config.PageReturn == PageReturnPolicy::Free;
+    SawPageReturnOff =
+        SawPageReturnOff || R.Config.PageReturn == PageReturnPolicy::Off;
   }
 
   EXPECT_GT(TotalOps, 0u);
@@ -100,6 +105,10 @@ TEST(FuzzCorpusTest, EveryCommittedInputReplaysClean) {
   EXPECT_TRUE(SawUncached) << "corpus never runs the locked paths";
   EXPECT_TRUE(SawMultiShard) << "corpus never runs multiple shards";
   EXPECT_TRUE(SawWorkers) << "corpus never spawns cross-thread workers";
+  EXPECT_TRUE(SawPageReturnFree)
+      << "corpus never selects DIEHARD_PAGE_RETURN=free";
+  EXPECT_TRUE(SawPageReturnOff)
+      << "corpus never selects DIEHARD_PAGE_RETURN=off";
 }
 
 TEST(FuzzCorpusTest, DeterministicInputsReplayBitIdentically) {

@@ -138,6 +138,63 @@ TEST(BitmapTest, FindNextClearOnlyLastBitClear) {
   EXPECT_EQ(B.findNextClear(0), 127u);
 }
 
+TEST(BitmapTest, FindNextSetMirrorsFindNextClear) {
+  Bitmap B(256);
+  EXPECT_EQ(B.findNextSet(0), 256u) << "all-clear bitmap reports size()";
+  B.trySet(100);
+  B.trySet(200);
+  EXPECT_EQ(B.findNextSet(0), 100u);
+  EXPECT_EQ(B.findNextSet(100), 100u);
+  EXPECT_EQ(B.findNextSet(101), 200u);
+  EXPECT_EQ(B.findNextSet(201), 256u);
+}
+
+TEST(BitmapTest, FindNextSetWordBoundarySkip) {
+  // Word 0 entirely clear: the empty-word fast path must land exactly on
+  // bit 64, whether the scan starts at the word's first or last bit.
+  Bitmap B(128);
+  B.trySet(64);
+  EXPECT_EQ(B.findNextSet(0), 64u);
+  EXPECT_EQ(B.findNextSet(63), 64u);
+  EXPECT_EQ(B.findNextSet(64), 64u);
+}
+
+TEST(BitmapTest, FindNextSetFromMidWordOfEmptyWord) {
+  // Starting mid-way through an all-clear word must not skip the set bit
+  // at the start of the next word.
+  Bitmap B(192);
+  B.trySet(64);
+  B.trySet(66);
+  EXPECT_EQ(B.findNextSet(10), 64u);
+  EXPECT_EQ(B.findNextSet(65), 66u);
+}
+
+TEST(BitmapTest, FindNextSetNonMultipleOf64Tail) {
+  // 70 bits: only the last valid bit set — the scan must find exactly it
+  // and From == size() must be a no-op.
+  Bitmap B(70);
+  B.trySet(69);
+  EXPECT_EQ(B.findNextSet(0), 69u);
+  EXPECT_EQ(B.findNextSet(69), 69u);
+  EXPECT_EQ(B.findNextSet(70), 70u);
+}
+
+TEST(BitmapTest, FindNextSetAndClearEnumerateRuns) {
+  // The pairing the span scanner uses: alternating findNextClear /
+  // findNextSet calls enumerate exactly the maximal free runs.
+  Bitmap B(300);
+  for (size_t I = 50; I < 80; ++I)
+    B.trySet(I);
+  for (size_t I = 190; I < 200; ++I)
+    B.trySet(I);
+  EXPECT_EQ(B.findNextClear(0), 0u);
+  EXPECT_EQ(B.findNextSet(0), 50u);     // Run [0, 50).
+  EXPECT_EQ(B.findNextClear(50), 80u);
+  EXPECT_EQ(B.findNextSet(80), 190u);   // Run [80, 190).
+  EXPECT_EQ(B.findNextClear(190), 200u);
+  EXPECT_EQ(B.findNextSet(200), 300u);  // Run [200, 300).
+}
+
 TEST(BitmapTest, ResetClearsAndResizes) {
   Bitmap B(10);
   B.trySet(3);

@@ -1,22 +1,28 @@
 #!/usr/bin/env python3
-"""Compare a fresh bench_mt_scaling JSON trailer against the committed
-baseline (BENCH_mt_scaling.json at the repo root).
+"""Compare a fresh bench JSON trailer against its committed baseline
+(BENCH_mt_scaling.json / BENCH_space.json at the repo root).
 
-Absolute ops/s are machine-bound, so the comparison works on *scenario
-ratios* — each config's throughput relative to its scenario's reference
-config at the same thread count (sharded/global, partition/coarse,
-cache-on/off). Ratios survive runner-hardware churn far better than raw
-numbers, which is what lets a committed baseline accumulate a perf
-trajectory across PRs.
+Absolute numbers are machine-bound (ops/s especially, but RSS too once
+kernel page-accounting differs), so the comparison works on *scenario
+ratios* — each config's value relative to its scenario's reference
+config (sharded/global, cache-on/off, dontneed/return-off). Ratios
+survive runner-hardware churn far better than raw numbers, which is what
+lets a committed baseline accumulate a trajectory across PRs.
 
-A ratio that dropped by --warn-pct percent or more counts as a regression:
-the script prints a GitHub `::warning::` annotation per hit and a
-machine-readable JSON summary (stdout, and --output if given), but always
-exits 0 on well-formed input — the gate warns, it does not block, because
-two-vCPU hosted runners are noisy. Exit codes: 0 compared, 2 bad input.
+Each result row carries a "value" (older mt_scaling trailers say
+"ops_per_sec"; both are accepted) and optionally "threads" (defaults to
+0 for single-process benches). A document-level "lower_is_better": true
+flips the regression direction: for throughput a ratio that *dropped*
+by --warn-pct percent regresses, for footprint one that *rose* does.
+
+The script prints a GitHub `::warning::` annotation per hit and a
+machine-readable JSON summary (stdout, and --output if given), but
+always exits 0 on well-formed input — the gate warns, it does not
+block, because two-vCPU hosted runners are noisy. Exit codes: 0
+compared, 2 bad input.
 
 Usage:
-  bench_compare.py --baseline BENCH_mt_scaling.json --fresh fresh.json \
+  bench_compare.py --baseline BENCH_space.json --fresh fresh.json \
       [--warn-pct 10] [--output compare.json]
 """
 
@@ -25,27 +31,38 @@ import json
 import sys
 
 # The denominator config of each known scenario; ratios are
-# ops(config)/ops(reference) at equal thread counts. Unknown scenarios
-# fall back to their alphabetically first config so new bench scenarios
-# never break the comparison.
+# value(config)/value(reference) at equal thread counts. Unknown
+# scenarios fall back to their alphabetically first config so new bench
+# scenarios never break the comparison.
 REFERENCE_CONFIG = {
     "sharding": "global",
     "mixed_class": "coarse_lock",
     "tcache": "cache_off",
+    "peak_espresso": "lea",
+    "churn_idle": "return-off",
 }
 
 
-def load_results(path):
-    """Returns {(scenario, config, threads): ops_per_sec}."""
+def load_doc(path):
+    """Returns the parsed trailer document."""
     try:
         with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.stderr.write(f"bench_compare: cannot parse {path}: {err}\n")
+        sys.exit(2)
+
+
+def load_results(doc, path):
+    """Returns {(scenario, config, threads): value}."""
+    try:
         out = {}
         for row in doc["results"]:
-            key = (row["scenario"], row["config"], int(row["threads"]))
-            out[key] = float(row["ops_per_sec"])
+            key = (row["scenario"], row["config"], int(row.get("threads", 0)))
+            value = row["value"] if "value" in row else row["ops_per_sec"]
+            out[key] = float(value)
         return out
-    except (OSError, ValueError, KeyError, TypeError) as err:
+    except (ValueError, KeyError, TypeError) as err:
         sys.stderr.write(f"bench_compare: cannot parse {path}: {err}\n")
         sys.exit(2)
 
@@ -58,13 +75,13 @@ def scenario_ratios(results):
     for scenario in scenarios:
         configs = sorted({c for (s, c, _) in results if s == scenario})
         reference = REFERENCE_CONFIG.get(scenario, configs[0])
-        for (s, config, threads), ops in results.items():
+        for (s, config, threads), value in results.items():
             if s != scenario or config == reference:
                 continue
             ref = results.get((scenario, reference, threads))
             if not ref:
                 continue
-            ratios[(scenario, config, threads)] = ops / ref
+            ratios[(scenario, config, threads)] = value / ref
     return ratios
 
 
@@ -76,8 +93,11 @@ def main():
     parser.add_argument("--output")
     args = parser.parse_args()
 
-    base = scenario_ratios(load_results(args.baseline))
-    fresh = scenario_ratios(load_results(args.fresh))
+    base_doc = load_doc(args.baseline)
+    fresh_doc = load_doc(args.fresh)
+    base = scenario_ratios(load_results(base_doc, args.baseline))
+    fresh = scenario_ratios(load_results(fresh_doc, args.fresh))
+    lower_is_better = bool(fresh_doc.get("lower_is_better", False))
 
     comparisons = []
     regressions = 0
@@ -92,7 +112,10 @@ def main():
             entry["baseline_ratio"] = round(base[key], 4)
         else:
             delta_pct = (fresh[key] - base[key]) / base[key] * 100.0
-            regressed = delta_pct <= -args.warn_pct
+            if lower_is_better:
+                regressed = delta_pct >= args.warn_pct
+            else:
+                regressed = delta_pct <= -args.warn_pct
             entry.update(
                 status="regressed" if regressed else "ok",
                 baseline_ratio=round(base[key], 4),
@@ -110,8 +133,9 @@ def main():
         comparisons.append(entry)
 
     summary = {
-        "bench": "mt_scaling",
+        "bench": fresh_doc.get("bench", "unknown"),
         "warn_pct": args.warn_pct,
+        "lower_is_better": lower_is_better,
         "regressions": regressions,
         "comparisons": comparisons,
     }

@@ -68,7 +68,12 @@ enum CoverageBit {
   BitLargeObjects = 13,
   BitSaturation = 14,
   BitRemoteFrees = 15,
-  NumCoverageBits = 16
+  // Config-derived only (never from runtime counters): how many pages a
+  // run actually returns depends on sweep timing, and a corpus selected
+  // on timing-dependent coverage would not replay to the same bits.
+  BitPageReturnFree = 16,
+  BitPageReturnOff = 17,
+  NumCoverageBits = 18
 };
 
 uint32_t coverageOf(const FuzzResult &R) {
@@ -95,6 +100,10 @@ uint32_t coverageOf(const FuzzResult &R) {
     Bits |= 1u << BitSaturation;
   if (R.FinalStats.RemoteFrees > 0)
     Bits |= 1u << BitRemoteFrees;
+  if (R.Config.PageReturn == diehard::PageReturnPolicy::Free)
+    Bits |= 1u << BitPageReturnFree;
+  if (R.Config.PageReturn == diehard::PageReturnPolicy::Off)
+    Bits |= 1u << BitPageReturnOff;
   return Bits;
 }
 
@@ -187,13 +196,21 @@ std::vector<uint8_t> generateInput(uint64_t GenSeed, uint64_t Index,
 
 void reportFailure(const FuzzResult &R, const std::string &Origin) {
   std::fprintf(stderr, "FAIL %s: %s\n", Origin.c_str(), R.Message.c_str());
+  const char *Policy =
+      R.Config.PageReturn == diehard::PageReturnPolicy::Free
+          ? "free"
+          : (R.Config.PageReturn == diehard::PageReturnPolicy::Off
+                 ? "off"
+                 : "dontneed");
   std::fprintf(stderr,
-               "  config: shards=%zu tcache=%zu adapt=%d sweeper=%d "
-               "overflow=%d fill=%d workers=%zu heap=%zuMB seed=%llu\n",
+               "  config: shards=%zu tcache=%zu adapt=%d sweeper=%d/%zums "
+               "pagereturn=%s overflow=%d fill=%d workers=%zu heap=%zuMB "
+               "seed=%llu\n",
                R.Config.NumShards, R.Config.ThreadCacheSlots,
                R.Config.Adaptive ? 1 : 0, R.Config.Sweeper ? 1 : 0,
-               R.Config.Overflow ? 1 : 0, R.Config.RandomFill ? 1 : 0,
-               R.Config.Workers, R.Config.HeapSize >> 20,
+               R.Config.SweepIntervalMs, Policy, R.Config.Overflow ? 1 : 0,
+               R.Config.RandomFill ? 1 : 0, R.Config.Workers,
+               R.Config.HeapSize >> 20,
                static_cast<unsigned long long>(R.Config.Seed));
 }
 
@@ -324,10 +341,10 @@ int main(int Argc, char **Argv) {
       }
       ++Kept;
       if (!Quiet)
-        std::printf("kept %s (coverage %04x -> %04x)\n", Name,
+        std::printf("kept %s (coverage %05x -> %05x)\n", Name,
                     Bits, Covered);
     }
-    std::printf("emit: %zu entries, coverage %04x/%04x%s\n", Kept, Covered,
+    std::printf("emit: %zu entries, coverage %05x/%05x%s\n", Kept, Covered,
                 All, Covered == All ? "" : " (INCOMPLETE)");
   }
 
