@@ -804,6 +804,22 @@ uint64_t ShardedHeap::spansReleased() const {
   return Total;
 }
 
+uint64_t ShardedHeap::pagesMeshed() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).stats().PagesMeshed;
+  return Total;
+}
+
+uint64_t ShardedHeap::meshedBytes() const {
+  uint64_t Total = 0;
+  for (const std::unique_ptr<Shard> &S : Shards)
+    for (int C = 0; C < DieHardHeap::NumPartitions; ++C)
+      Total += S->Heap.partition(C).stats().MeshedBytes;
+  return Total;
+}
+
 size_t ShardedHeap::sweepOnce() {
   // Callers hold the pass gate (Sweep.Lock); the pass itself takes at most
   // one other lock at a time and never blocks while holding one.
@@ -831,7 +847,8 @@ size_t ShardedHeap::sweepOnce() {
       // filled partitions never pass the pre-check (their data must stay
       // resident for the fill invariant).
       if (P.hasPendingRemoteFrees() ||
-          P.pageScanPending(PartialReturnFillGate)) {
+          P.pageScanPending(PartialReturnFillGate) ||
+          P.meshScanPending(PartialReturnFillGate)) {
         std::lock_guard<std::mutex> Guard(partitionLock(S, C));
         Drained += S.Heap.maintain(C).Drained;
       }

@@ -851,7 +851,11 @@ FuzzConfig decodeFuzzConfig(const uint8_t *Data, size_t Size,
     break;
   }
   C.Workers = (B1 >> 2) & 3;
-  C.SweepIntervalMs = 1 + (B1 >> 4); // 1..16 ms epochs.
+  C.SweepIntervalMs = 1 + ((B1 >> 4) & 7); // 1..8 ms epochs.
+  // B1's top bit (formerly interval range 9..16, a redundant timing axis)
+  // now toggles meshing; forced off with RandomFill exactly like the shim
+  // (a meshed donor's punched frame refaults zero, destroying fill).
+  C.Meshing = (B1 & 0x80) != 0 && !C.RandomFill;
   C.Seed = Rng::deriveStream(BaseSeed, 1 + B2 + 256 * B3);
   if (C.Seed == 0)
     C.Seed = 0x5EEDULL; // Zero would select true randomness.
@@ -869,6 +873,7 @@ FuzzResult runFuzzSequence(const uint8_t *Data, size_t Size,
   Opts.Heap.Seed = Cfg.Seed;
   Opts.Heap.RandomFillObjects = Cfg.RandomFill;
   Opts.Heap.RandomFillOnFree = Cfg.RandomFill;
+  Opts.Heap.Meshing = Cfg.Meshing;
   Opts.NumShards = Cfg.NumShards;
   Opts.OverflowRouting = Cfg.Overflow;
   Opts.ThreadCacheSlots = Cfg.ThreadCacheSlots;

@@ -218,7 +218,9 @@ void dumpStatsAtExit() {
       "\"remote_frees\":%llu,\"sidecar_drains\":%llu,"
       "\"sweep_passes\":%llu,\"sweeper_drained\":%llu,"
       "\"aged_caches\":%llu,\"pages_returned\":%llu,"
-      "\"partial_returns\":%llu,\"spans_released\":%llu,\"probes\":%llu,"
+      "\"partial_returns\":%llu,\"spans_released\":%llu,"
+      "\"mesh_candidates\":%llu,\"pages_meshed\":%llu,"
+      "\"meshed_bytes\":%llu,\"probes\":%llu,"
       "\"realloc_rejects\":%llu}}\n",
       static_cast<unsigned long long>(S.Allocations),
       static_cast<unsigned long long>(S.Frees),
@@ -238,6 +240,9 @@ void dumpStatsAtExit() {
       static_cast<unsigned long long>(S.PagesReturned),
       static_cast<unsigned long long>(S.PartialReturns),
       static_cast<unsigned long long>(S.SpansReleased),
+      static_cast<unsigned long long>(S.MeshCandidates),
+      static_cast<unsigned long long>(S.PagesMeshed),
+      static_cast<unsigned long long>(S.MeshedBytes),
       static_cast<unsigned long long>(S.Probes),
       static_cast<unsigned long long>(S.ReallocRejects));
   if (N > 0)
@@ -265,6 +270,9 @@ ShardedHeap *constructHeap() {
   // Replicas never run the sweeper: its thread would interleave with the
   // replica's allocation sequence and break per-seed determinism.
   Options.Sweeper = !IsReplica && envFlag("DIEHARD_SWEEPER", false);
+  // Meshing is likewise replica-incompatible (random fill relies on pages
+  // keeping their contents; a meshed donor's punched frame refaults zero).
+  Options.Heap.Meshing = !IsReplica && envFlag("DIEHARD_MESH", false);
   size_t SweepMs = envSize("DIEHARD_SWEEP_MS", Options.SweepIntervalMs);
   Options.SweepIntervalMs =
       SweepMs > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(SweepMs);
@@ -499,6 +507,13 @@ size_t diehard_partial_returns(void) {
 size_t diehard_spans_released(void) {
   ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
   return H != nullptr ? static_cast<size_t>(H->spansReleased()) : 0;
+}
+
+/// Donor pages meshed onto a survivor's physical frame by the sweeper's
+/// mesh passes (see DIEHARD_MESH). Lock-free.
+size_t diehard_pages_meshed(void) {
+  ShardedHeap *H = TheHeap.load(std::memory_order_acquire);
+  return H != nullptr ? static_cast<size_t>(H->pagesMeshed()) : 0;
 }
 
 } // extern "C"

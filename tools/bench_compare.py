@@ -40,6 +40,8 @@ REFERENCE_CONFIG = {
     "tcache": "cache_off",
     "peak_espresso": "lea",
     "churn_idle": "return-off",
+    "churn_pressure": "return-off",
+    "frag_idle": "mesh-off",
 }
 
 

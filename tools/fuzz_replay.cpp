@@ -73,7 +73,8 @@ enum CoverageBit {
   // on timing-dependent coverage would not replay to the same bits.
   BitPageReturnFree = 16,
   BitPageReturnOff = 17,
-  NumCoverageBits = 18
+  BitMeshing = 18,
+  NumCoverageBits = 19
 };
 
 uint32_t coverageOf(const FuzzResult &R) {
@@ -104,6 +105,8 @@ uint32_t coverageOf(const FuzzResult &R) {
     Bits |= 1u << BitPageReturnFree;
   if (R.Config.PageReturn == diehard::PageReturnPolicy::Off)
     Bits |= 1u << BitPageReturnOff;
+  if (R.Config.Meshing)
+    Bits |= 1u << BitMeshing;
   return Bits;
 }
 
