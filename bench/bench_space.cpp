@@ -58,6 +58,8 @@
 #include "core/ShardedHeap.h"
 #include "core/SizeClass.h"
 #include "support/MmapRegion.h"
+#include "workloads/ForkHarness.h"
+#include "workloads/ProcessStats.h"
 #include "workloads/WorkloadSuite.h"
 
 #include <cstdio>
@@ -67,7 +69,6 @@
 #include <vector>
 
 #include <sys/mman.h>
-#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -75,60 +76,20 @@ using namespace diehard;
 
 namespace {
 
-/// Runs \p Body in a forked child; returns the child's peak RSS in KB, or
-/// 0 on failure.
+/// Runs \p Body in a forked child (via the shared crash harness) and
+/// returns the child's peak RSS in KB, or 0 on failure.
 long peakRssKb(const std::function<void()> &Body) {
-  pid_t Pid = ::fork();
-  if (Pid < 0)
-    return 0;
-  if (Pid == 0) {
+  ForkOutcome Outcome = runInFork([&Body] {
     Body();
-    ::_exit(0);
-  }
-  int Status = 0;
-  struct rusage Usage;
-  if (::wait4(Pid, &Status, 0, &Usage) != Pid)
     return 0;
-  return Usage.ru_maxrss;
+  });
+  return Outcome.cleanExit() ? Outcome.MaxRssKb : 0;
 }
 
 WorkloadParams driver() {
   WorkloadParams P = findWorkload("espresso");
   P.MemoryOps = 400000;
   return P;
-}
-
-/// The process's *current* resident set in KB (from /proc/self/statm) —
-/// unlike ru_maxrss this can go back down, which is the whole point of the
-/// sweeper's page-return table.
-long currentRssKb() {
-  std::FILE *F = std::fopen("/proc/self/statm", "r");
-  if (F == nullptr)
-    return 0;
-  long SizePages = 0, ResidentPages = 0;
-  int N = std::fscanf(F, "%ld %ld", &SizePages, &ResidentPages);
-  std::fclose(F);
-  if (N != 2)
-    return 0;
-  return ResidentPages * (::sysconf(_SC_PAGESIZE) / 1024);
-}
-
-/// The process's lazily-freed resident pages in KB, from
-/// /proc/self/smaps_rollup. MADV_FREE'd pages stay in RSS until memory
-/// pressure reclaims them; subtracting LazyFree gives the footprint the
-/// process would shrink to under pressure ("effective RSS"). Returns 0
-/// where the kernel has no smaps_rollup or no LazyFree accounting.
-long lazyFreeKb() {
-  std::FILE *F = std::fopen("/proc/self/smaps_rollup", "r");
-  if (F == nullptr)
-    return 0;
-  char Line[256];
-  long Kb = 0;
-  while (std::fgets(Line, sizeof(Line), F) != nullptr)
-    if (std::sscanf(Line, "LazyFree: %ld kB", &Kb) == 1)
-      break;
-  std::fclose(F);
-  return Kb;
 }
 
 /// RSS samples (KB) at the four interesting moments of the burst-and-idle
@@ -191,38 +152,6 @@ RssTimeline rssTimeline(bool Sweeper) {
   int Status = 0;
   ::waitpid(Pid, &Status, 0);
   return T;
-}
-
-/// Simulates memory pressure on the calling process: MADV_PAGEOUT over
-/// every writable private anonymous mapping forces the kernel to reclaim
-/// lazily-freed (MADV_FREE / LazyFree) pages right now rather than
-/// waiting for a real low-memory event. Returns false where the kernel
-/// predates MADV_PAGEOUT; clean and dirty live pages survive (they are
-/// paged out and fault back), so the call is safe to run mid-benchmark.
-bool pageOutAnonymous() {
-#ifdef MADV_PAGEOUT
-  std::FILE *F = std::fopen("/proc/self/maps", "r");
-  if (F == nullptr)
-    return false;
-  char Line[512];
-  while (std::fgets(Line, sizeof(Line), F) != nullptr) {
-    unsigned long Begin = 0, End = 0, Offset = 0, Inode = 1;
-    char Perms[8] = {}, Dev[16] = {};
-    if (std::sscanf(Line, "%lx-%lx %7s %lx %15s %lu", &Begin, &End, Perms,
-                    &Offset, Dev, &Inode) != 6)
-      continue;
-    // Unnamed rw anonymous mappings only: the heap's reservations. Named
-    // regions ([stack], [heap], file backings) are skipped.
-    if (Inode != 0 || std::strcmp(Perms, "rw-p") != 0 ||
-        std::strchr(Line, '[') != nullptr || std::strchr(Line, '/') != nullptr)
-      continue;
-    ::madvise(reinterpret_cast<void *>(Begin), End - Begin, MADV_PAGEOUT);
-  }
-  std::fclose(F);
-  return true;
-#else
-  return false;
-#endif
 }
 
 /// One cell of the production-footprint matrix: a page-return policy plus

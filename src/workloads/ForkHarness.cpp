@@ -13,11 +13,31 @@
 
 #include <chrono>
 
+#include <poll.h>
 #include <signal.h>
+#include <stdlib.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 namespace diehard {
+
+namespace {
+
+/// Interprets a wait4() status plus its rusage into a ForkOutcome.
+void fillOutcome(ForkOutcome &Outcome, int Status,
+                 const struct rusage &Usage) {
+  if (WIFEXITED(Status)) {
+    Outcome.Exited = true;
+    Outcome.ExitCode = WEXITSTATUS(Status);
+  } else if (WIFSIGNALED(Status)) {
+    Outcome.Signaled = true;
+    Outcome.Signal = WTERMSIG(Status);
+  }
+  Outcome.MaxRssKb = Usage.ru_maxrss;
+}
+
+} // namespace
 
 ForkOutcome runInFork(const std::function<int()> &Body, int TimeoutMillis) {
   ForkOutcome Outcome;
@@ -34,15 +54,10 @@ ForkOutcome runInFork(const std::function<int()> &Body, int TimeoutMillis) {
   auto Start = std::chrono::steady_clock::now();
   for (;;) {
     int Status = 0;
-    pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+    struct rusage Usage = {};
+    pid_t R = ::wait4(Pid, &Status, WNOHANG, &Usage);
     if (R == Pid) {
-      if (WIFEXITED(Status)) {
-        Outcome.Exited = true;
-        Outcome.ExitCode = WEXITSTATUS(Status);
-      } else if (WIFSIGNALED(Status)) {
-        Outcome.Signaled = true;
-        Outcome.Signal = WTERMSIG(Status);
-      }
+      fillOutcome(Outcome, Status, Usage);
       return Outcome;
     }
     auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -50,12 +65,91 @@ ForkOutcome runInFork(const std::function<int()> &Body, int TimeoutMillis) {
                        .count();
     if (Elapsed > TimeoutMillis) {
       ::kill(Pid, SIGKILL);
-      ::waitpid(Pid, &Status, 0);
+      struct rusage KillUsage = {};
+      ::wait4(Pid, &Status, 0, &KillUsage);
       Outcome.TimedOut = true;
+      Outcome.MaxRssKb = KillUsage.ru_maxrss;
       return Outcome;
     }
     ::usleep(500);
   }
+}
+
+ExecCapture runCommandCapture(const std::vector<std::string> &Argv,
+                              const std::vector<std::string> &ExtraEnv,
+                              int TimeoutMillis) {
+  ExecCapture Capture;
+  int Fds[2];
+  if (Argv.empty() || ::pipe(Fds) != 0) {
+    Capture.Outcome.ForkFailed = true;
+    return Capture;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Fds[0]);
+    ::close(Fds[1]);
+    Capture.Outcome.ForkFailed = true;
+    return Capture;
+  }
+  if (Pid == 0) {
+    ::close(Fds[0]);
+    ::dup2(Fds[1], STDOUT_FILENO);
+    ::close(Fds[1]);
+    for (const std::string &Assignment : ExtraEnv) {
+      size_t Eq = Assignment.find('=');
+      if (Eq != std::string::npos)
+        ::setenv(Assignment.substr(0, Eq).c_str(),
+                 Assignment.c_str() + Eq + 1, 1);
+    }
+    std::vector<char *> Args;
+    Args.reserve(Argv.size() + 1);
+    for (const std::string &Arg : Argv)
+      Args.push_back(const_cast<char *>(Arg.c_str()));
+    Args.push_back(nullptr);
+    ::execv(Args[0], Args.data());
+    ::_exit(127); // Exec failed; the parent sees a distinct exit code.
+  }
+
+  ::close(Fds[1]);
+  auto Start = std::chrono::steady_clock::now();
+  bool Killed = false;
+  for (;;) {
+    auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+    int Remaining = TimeoutMillis - static_cast<int>(Elapsed);
+    if (Remaining <= 0 && !Killed) {
+      ::kill(Pid, SIGKILL);
+      Killed = true;
+      Remaining = 1000; // Drain whatever the dying child flushed.
+    }
+    struct pollfd Poll = {Fds[0], POLLIN, 0};
+    int Ready = ::poll(&Poll, 1, Remaining);
+    if (Ready < 0)
+      break;
+    if (Ready == 0) {
+      if (Killed)
+        break;
+      continue;
+    }
+    char Buffer[4096];
+    ssize_t N = ::read(Fds[0], Buffer, sizeof(Buffer));
+    if (N <= 0)
+      break; // EOF: every writer end is closed.
+    Capture.Output.append(Buffer, static_cast<size_t>(N));
+  }
+  ::close(Fds[0]);
+
+  int Status = 0;
+  struct rusage Usage = {};
+  ::wait4(Pid, &Status, 0, &Usage);
+  fillOutcome(Capture.Outcome, Status, Usage);
+  if (Killed) {
+    Capture.Outcome.TimedOut = true;
+    Capture.Outcome.Exited = false;
+    Capture.Outcome.Signaled = false;
+  }
+  return Capture;
 }
 
 } // namespace diehard

@@ -5,10 +5,14 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Runs a callable in a forked child and reports how it ended. The error-
-/// avoidance experiments (Section 7.3) need to observe crashes, infinite
-/// loops, and clean completions of deliberately corrupted programs without
-/// taking down the harness, which is exactly what a fork boundary provides.
+/// Runs a callable — or an exec'd command — in a forked child and reports
+/// how it ended. The error-avoidance experiments (Section 7.3) need to
+/// observe crashes, infinite loops, and clean completions of deliberately
+/// corrupted programs without taking down the harness, which is exactly
+/// what a fork boundary provides; the space and gauntlet benches
+/// additionally read the child's peak resident set from the same wait,
+/// and the gauntlet's backend matrix exec's the bench binary back into
+/// itself under LD_PRELOAD configurations while capturing its output.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,6 +20,8 @@
 #define DIEHARD_WORKLOADS_FORKHARNESS_H
 
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace diehard {
 
@@ -27,6 +33,7 @@ struct ForkOutcome {
   bool Signaled = false; ///< Terminated by a signal (crash).
   int Signal = 0;        ///< Valid when Signaled.
   bool TimedOut = false; ///< Killed by the harness watchdog (hang).
+  long MaxRssKb = 0;     ///< Child's peak resident set (ru_maxrss).
 
   /// True if the child exited normally with status 0.
   bool cleanExit() const { return Exited && ExitCode == 0; }
@@ -38,6 +45,23 @@ struct ForkOutcome {
 /// enter an infinite loop under injected overflows).
 ForkOutcome runInFork(const std::function<int()> &Body,
                       int TimeoutMillis = 20000);
+
+/// What an exec'd child produced: its fate plus everything it wrote to
+/// stdout.
+struct ExecCapture {
+  ForkOutcome Outcome;
+  std::string Output;
+};
+
+/// Fork-execs \p Argv (argv[0] is the binary path) with \p ExtraEnv
+/// ("KEY=VALUE" strings) applied on top of the inherited environment, and
+/// captures the child's stdout until it exits or the watchdog fires. The
+/// peak RSS in the outcome is the exec'd process's, which is what lets the
+/// gauntlet report footprint per allocator backend without instrumenting
+/// the child.
+ExecCapture runCommandCapture(const std::vector<std::string> &Argv,
+                              const std::vector<std::string> &ExtraEnv = {},
+                              int TimeoutMillis = 120000);
 
 } // namespace diehard
 

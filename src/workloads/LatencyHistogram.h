@@ -1,0 +1,113 @@
+//===- workloads/LatencyHistogram.h - log-bucket latency sketch -*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size logarithmic histogram for per-operation latencies, in the
+/// HdrHistogram style: each power-of-two octave is split into 2^SubBits
+/// linear sub-buckets, so relative error is bounded by 1/2^SubBits (12.5%
+/// here) at every magnitude from nanoseconds to minutes. Recording is two
+/// shifts and an increment — cheap enough to sit inside a benchmark's
+/// timed loop — and histograms merge by addition, so each worker thread
+/// records privately and the driver folds them after the join with no
+/// synchronization on the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_LATENCYHISTOGRAM_H
+#define DIEHARD_WORKLOADS_LATENCYHISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace diehard {
+
+/// Log-bucket histogram of nanosecond latencies with bounded relative error.
+class LatencyHistogram {
+public:
+  static constexpr int SubBits = 3; ///< 8 linear sub-buckets per octave.
+  static constexpr int NumOctaves = 40; ///< Covers up to ~2^39 ns (~9 min).
+  static constexpr size_t NumBuckets =
+      static_cast<size_t>(NumOctaves) << SubBits;
+
+  /// Adds one sample. Values beyond the last octave clamp into it.
+  void record(uint64_t Ns) {
+    ++Counts[bucketOf(Ns)];
+    ++TotalSamples;
+  }
+
+  /// Adds every sample of \p Other into this histogram.
+  void merge(const LatencyHistogram &Other) {
+    for (size_t I = 0; I < NumBuckets; ++I)
+      Counts[I] += Other.Counts[I];
+    TotalSamples += Other.TotalSamples;
+  }
+
+  /// Number of recorded samples.
+  uint64_t samples() const { return TotalSamples; }
+
+  /// Value at quantile \p Q in [0, 1] — the upper bound of the bucket
+  /// holding the Q-th sample, so the reported number never understates the
+  /// true percentile by more than one sub-bucket. Returns 0 when empty.
+  uint64_t valueAtQuantile(double Q) const {
+    if (TotalSamples == 0)
+      return 0;
+    if (Q < 0.0)
+      Q = 0.0;
+    if (Q > 1.0)
+      Q = 1.0;
+    uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(
+                                                  TotalSamples - 1));
+    uint64_t Seen = 0;
+    for (size_t I = 0; I < NumBuckets; ++I) {
+      Seen += Counts[I];
+      if (Seen > Rank)
+        return bucketUpperBound(I);
+    }
+    return bucketUpperBound(NumBuckets - 1);
+  }
+
+  /// Convenience percentiles for reports.
+  uint64_t p50() const { return valueAtQuantile(0.50); }
+  uint64_t p99() const { return valueAtQuantile(0.99); }
+
+private:
+  /// Maps a value to its bucket. The first octave [0, 2^SubBits) is exact
+  /// (one value per bucket); octave k >= SubBits spans [2^k, 2^(k+1)) split
+  /// into 2^SubBits equal sub-buckets.
+  static size_t bucketOf(uint64_t Ns) {
+    constexpr uint64_t FirstOctaveLimit = uint64_t(1) << SubBits;
+    if (Ns < FirstOctaveLimit)
+      return static_cast<size_t>(Ns);
+    int Msb = 63 - __builtin_clzll(Ns);
+    int Octave = Msb - SubBits + 1; // 1-based past the exact range.
+    if (Octave >= NumOctaves - 1)
+      return NumBuckets - 1;
+    uint64_t Sub = (Ns >> (Msb - SubBits)) & (FirstOctaveLimit - 1);
+    return (static_cast<size_t>(Octave) << SubBits) +
+           static_cast<size_t>(Sub);
+  }
+
+  /// Largest value that maps into bucket \p Index (inclusive upper bound).
+  static uint64_t bucketUpperBound(size_t Index) {
+    constexpr uint64_t FirstOctaveLimit = uint64_t(1) << SubBits;
+    if (Index < FirstOctaveLimit)
+      return Index;
+    size_t Octave = Index >> SubBits;
+    uint64_t Sub = Index & (FirstOctaveLimit - 1);
+    // Invert bucketOf: bucket base is 2^(Octave+SubBits-1), sub-bucket
+    // width is base / 2^SubBits.
+    uint64_t Base = uint64_t(1) << (Octave + SubBits - 1);
+    uint64_t Width = Base >> SubBits;
+    return Base + (Sub + 1) * Width - 1;
+  }
+
+  uint64_t Counts[NumBuckets] = {};
+  uint64_t TotalSamples = 0;
+};
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_LATENCYHISTOGRAM_H

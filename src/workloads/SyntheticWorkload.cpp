@@ -11,6 +11,8 @@
 
 #include "workloads/SyntheticWorkload.h"
 
+#include "workloads/WorkloadDriver.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstring>
@@ -118,44 +120,31 @@ WorkloadResult SyntheticWorkload::run(Allocator &Target) {
       // pattern at the front and a tag in the final bytes (programs use
       // the whole extent they asked for — this is what makes the
       // fault injector's under-allocation into a real overflow).
-      size_t Touch = std::min<size_t>(Size, Params.TouchBytes);
-      auto *Bytes = static_cast<unsigned char *>(Ptr);
-      for (size_t I = 0; I < Touch; ++I)
-        Bytes[I] = static_cast<unsigned char>(Tag >> ((I % 4) * 8));
-      if (Size >= Touch + 4)
-        for (size_t I = Size - 4; I < Size; ++I)
-          Bytes[I] = static_cast<unsigned char>(Tag >> ((I % 4) * 8));
+      stampObject(Ptr, Size, Tag, static_cast<size_t>(Params.TouchBytes));
       Live.push_back(LiveObject{Ptr, Size, Tag});
       Result.PeakLive = std::max(Result.PeakLive, Live.size());
       ++Result.Allocations;
       continue;
     }
 
-    // Free a random live object, verifying the data we wrote survived.
+    // Free a random live object, verifying the data we wrote survived
+    // (hashObject reads exactly the bytes stampObject wrote).
     uint32_t Victim = Rand.nextBounded(static_cast<uint32_t>(Live.size()));
     LiveObject Obj = Live[Victim];
     Live[Victim] = Live.back();
     Live.pop_back();
-    size_t Touch = std::min<size_t>(Obj.Size, Params.TouchBytes);
-    const auto *Bytes = static_cast<const unsigned char *>(Obj.Ptr);
-    for (size_t I = 0; I < Touch; ++I)
-      Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
-    if (Obj.Size >= Touch + 4)
-      for (size_t I = Obj.Size - 4; I < Obj.Size; ++I)
-        Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    Checksum = Checksum * 1099511628211ULL ^
+               hashObject(Obj.Ptr, Obj.Size,
+                          static_cast<size_t>(Params.TouchBytes));
     Target.deallocate(Obj.Ptr);
     ++Result.Frees;
   }
 
   // Drain the live set so the run ends with an empty heap.
   for (const LiveObject &Obj : Live) {
-    size_t Touch = std::min<size_t>(Obj.Size, Params.TouchBytes);
-    const auto *Bytes = static_cast<const unsigned char *>(Obj.Ptr);
-    for (size_t I = 0; I < Touch; ++I)
-      Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
-    if (Obj.Size >= Touch + 4)
-      for (size_t I = Obj.Size - 4; I < Obj.Size; ++I)
-        Checksum = Checksum * 1099511628211ULL ^ Bytes[I];
+    Checksum = Checksum * 1099511628211ULL ^
+               hashObject(Obj.Ptr, Obj.Size,
+                          static_cast<size_t>(Params.TouchBytes));
     Target.deallocate(Obj.Ptr);
     ++Result.Frees;
   }

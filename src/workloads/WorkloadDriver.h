@@ -1,0 +1,145 @@
+//===- workloads/WorkloadDriver.h - gauntlet workload driver ----*- C++ -*-===//
+//
+// Part of the DieHard reproduction (Berger & Zorn, PLDI 2006).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared multithreaded workload driver behind the allocator gauntlet
+/// (bench_gauntlet) and the workload stress tests. It runs the classic
+/// allocator-bench stress shapes — larson-style server churn with
+/// cross-thread handoff, producer/consumer pipelines, burst alloc/free
+/// phases, and a fragmentation-heavy long-runner — against anything behind
+/// the uniform Allocator facade, with three properties the benches and
+/// tests both rely on:
+///
+///  * *Deterministic op sequences.* Every decision (sizes, slots, tags)
+///    comes from per-thread RNG streams derived from one seed, and object
+///    hashes fold into the checksum commutatively, so two runs with the
+///    same parameters produce identical op counts and checksums no matter
+///    how the scheduler interleaves threads or which thread ends up
+///    freeing a handed-off object.
+///
+///  * *Exact accounting.* Each workload performs a closed-form number of
+///    allocations (expectedAllocations) and frees every one of them before
+///    returning, so Allocations == Frees at quiescence is a hard
+///    invariant any allocator must preserve.
+///
+///  * *Self-validation.* Every object is stamped at allocation and
+///    verified at free through the same stampObject/hashObject helpers the
+///    synthetic suite uses, so a corrupting allocator changes the checksum
+///    instead of silently passing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DIEHARD_WORKLOADS_WORKLOADDRIVER_H
+#define DIEHARD_WORKLOADS_WORKLOADDRIVER_H
+
+#include "baselines/Allocator.h"
+#include "workloads/LatencyHistogram.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace diehard {
+
+/// Writes a recognizable pattern derived from \p Tag into the front
+/// TouchBytes of the object and, when it fits, its final four bytes —
+/// the footprint applications leave in memory they asked for. The matching
+/// hashObject() reads exactly these bytes back, so any allocator that
+/// preserves user data yields the identical hash.
+void stampObject(void *Ptr, size_t Size, uint32_t Tag, size_t TouchBytes);
+
+/// FNV-folds the bytes stampObject() wrote and returns the object's hash.
+/// Allocator-independent: depends only on (Size, Tag, TouchBytes).
+uint64_t hashObject(const void *Ptr, size_t Size, size_t TouchBytes);
+
+/// Serializes a non-thread-safe Allocator behind one mutex so the
+/// multithreaded gauntlet can drive the single-heap baselines (Lea,
+/// DieHardHeap direct) the way a pre-threading malloc wrapped its arena.
+class LockedAllocator final : public Allocator {
+public:
+  explicit LockedAllocator(Allocator &Target) : Inner(Target) {
+    Name = std::string(Target.getName()) + "-locked";
+  }
+
+  void *allocate(size_t Size) override {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Inner.allocate(Size);
+  }
+  void deallocate(void *Ptr) override {
+    std::lock_guard<std::mutex> Guard(Lock);
+    Inner.deallocate(Ptr);
+  }
+  const char *getName() const override { return Name.c_str(); }
+
+private:
+  Allocator &Inner;
+  std::mutex Lock;
+  std::string Name;
+};
+
+/// The gauntlet's workload shapes, named for their allocator-bench-canon
+/// ancestors (see docs/ARCHITECTURE.md for the mapping).
+enum class GauntletKind {
+  Larson,   ///< Server churn: slot blocks rotate between threads each
+            ///< round, so objects are freed by a different thread than
+            ///< allocated them (larson's cross-thread handoff).
+  Pipeline, ///< Producer/consumer pairs over SPSC rings: every free is a
+            ///< remote free (xmalloc-test's async-free shape).
+  Burst,    ///< Alternating allocate-B / free-B phases per thread
+            ///< (alloc-test's batch churn).
+  Fragment, ///< Fill, free all but scattered survivors, churn into the
+            ///< holes (the fragmentation long-runner shape).
+};
+
+/// Returns the lowercase workload name used in reports and CLI arguments.
+const char *gauntletKindName(GauntletKind Kind);
+
+/// Parses a workload name; returns false on an unknown name.
+bool gauntletKindFromName(const std::string &Name, GauntletKind &KindOut);
+
+/// Parameters for one gauntlet run.
+struct GauntletParams {
+  GauntletKind Kind = GauntletKind::Larson;
+  int Threads = 4;             ///< Worker threads (Pipeline uses pairs).
+  uint64_t OpsPerThread = 100000; ///< Exact allocations per worker thread.
+  size_t MinSize = 8;
+  size_t MaxSize = 512;
+  size_t SlotsPerThread = 512; ///< Live-set block size (Larson, Fragment).
+  size_t BurstObjects = 1024;  ///< Objects per burst phase (Burst).
+  int PinnedStride = 16;       ///< Fragment: every Nth slot stays pinned.
+  int Rounds = 8;              ///< Larson: handoff rounds.
+  size_t TouchBytes = 16;      ///< Bytes stamped/verified per object.
+  int SamplePeriod = 8;        ///< Latency-sample every Nth operation.
+  uint64_t Seed = 0x6A07;      ///< Root of all per-thread RNG streams.
+};
+
+/// What a gauntlet run produced.
+struct GauntletResult {
+  uint64_t Allocations = 0;
+  uint64_t Frees = 0;
+  uint64_t FailedAllocations = 0;
+  uint64_t Checksum = 0; ///< Commutative fold of per-object hashes.
+  double Seconds = 0.0;  ///< Wall time of the worker phase.
+  double OpsPerSec = 0.0; ///< (Allocations + Frees) / Seconds.
+  LatencyHistogram Latency; ///< Sampled per-op (alloc and free) latencies.
+};
+
+/// Number of worker threads a run will actually use (Pipeline rounds the
+/// requested count down to producer/consumer pairs, minimum one pair).
+int gauntletThreadsUsed(const GauntletParams &Params);
+
+/// The closed-form allocation count of a run: every workload allocates
+/// exactly OpsPerThread objects per worker thread (per producer for
+/// Pipeline) and frees all of them before returning.
+uint64_t expectedAllocations(const GauntletParams &Params);
+
+/// Runs one gauntlet workload against \p Target and reports throughput,
+/// sampled latency, and the determinism-checkable counters.
+GauntletResult runGauntlet(const GauntletParams &Params, Allocator &Target);
+
+} // namespace diehard
+
+#endif // DIEHARD_WORKLOADS_WORKLOADDRIVER_H

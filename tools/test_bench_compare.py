@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Unit tests for the bench_compare comparator.
+
+Run directly (python3 tools/test_bench_compare.py) or via ctest as
+tools.bench_compare. The tests exercise the pure comparison layer —
+reference resolution, ratio math, per-row regression direction — without
+touching the CLI or the filesystem.
+"""
+
+import unittest
+
+import bench_compare
+
+
+def doc(rows, **top):
+    """Builds a trailer document from (scenario, config, value[, extras])
+    tuples plus top-level keys."""
+    results = []
+    for row in rows:
+        entry = {"scenario": row[0], "config": row[1], "value": row[2],
+                 "threads": row[3] if len(row) > 3 else 1}
+        if len(row) > 4:
+            entry.update(row[4])
+        results.append(entry)
+    return {"bench": "test", "results": results, **top}
+
+
+class LoadResultsTest(unittest.TestCase):
+    def test_accepts_value_and_legacy_ops_per_sec(self):
+        results = bench_compare.load_results({"results": [
+            {"scenario": "a", "config": "x", "value": 10, "threads": 2},
+            {"scenario": "a", "config": "y", "ops_per_sec": 20},
+        ]})
+        self.assertEqual(results[("a", "x", 2)], (10.0, None))
+        self.assertEqual(results[("a", "y", 0)], (20.0, None))
+
+    def test_row_flag_is_preserved(self):
+        results = bench_compare.load_results({"results": [
+            {"scenario": "a", "config": "x", "value": 1,
+             "lower_is_better": True},
+        ]})
+        self.assertEqual(results[("a", "x", 0)], (1.0, True))
+
+    def test_malformed_row_raises(self):
+        with self.assertRaises(ValueError):
+            bench_compare.load_results({"results": [{"scenario": "a"}]})
+
+
+class ReferenceResolutionTest(unittest.TestCase):
+    def test_known_scenario_keeps_historical_reference(self):
+        self.assertEqual(
+            bench_compare.resolve_reference(
+                "tcache", {"cache_off", "cache_on"}, "cache_on"),
+            "cache_off")
+
+    def test_document_reference_wins_for_unknown_scenario(self):
+        self.assertEqual(
+            bench_compare.resolve_reference(
+                "larson_ops", {"glibc", "shim", "lea"}, "glibc"),
+            "glibc")
+
+    def test_absent_document_reference_falls_back_alphabetically(self):
+        self.assertEqual(
+            bench_compare.resolve_reference(
+                "larson_ops", {"shim", "lea"}, "glibc"),
+            "lea")
+
+    def test_ratios_use_document_reference(self):
+        ratios, _ = bench_compare.scenario_ratios(
+            bench_compare.load_results(doc([
+                ("larson_ops", "glibc", 100),
+                ("larson_ops", "shim", 25),
+            ])),
+            doc_reference="glibc")
+        self.assertEqual(ratios, {("larson_ops", "shim", 1): 0.25})
+
+    def test_zero_reference_row_is_skipped(self):
+        ratios, _ = bench_compare.scenario_ratios(
+            bench_compare.load_results(doc([
+                ("larson_ops", "glibc", 0),
+                ("larson_ops", "shim", 25),
+            ])),
+            doc_reference="glibc")
+        self.assertEqual(ratios, {})
+
+
+class CompareDirectionTest(unittest.TestCase):
+    """One gauntlet-style document mixes ops/s rows (higher-better) with
+    p99/RSS rows flagged lower_is_better — the per-row flag must flip the
+    regression direction row by row."""
+
+    def make(self, base_shim_ops, fresh_shim_ops, base_shim_p99,
+             fresh_shim_p99):
+        lower = {"lower_is_better": True}
+        base = doc([
+            ("larson_ops", "glibc", 100), ("larson_ops", "shim",
+                                           base_shim_ops),
+            ("larson_p99", "glibc", 1000, 1, lower),
+            ("larson_p99", "shim", base_shim_p99, 1, lower),
+        ], reference_config="glibc")
+        fresh = doc([
+            ("larson_ops", "glibc", 100), ("larson_ops", "shim",
+                                           fresh_shim_ops),
+            ("larson_p99", "glibc", 1000, 1, lower),
+            ("larson_p99", "shim", fresh_shim_p99, 1, lower),
+        ], reference_config="glibc")
+        return bench_compare.compare(base, fresh, warn_pct=10.0)
+
+    def entry(self, summary, scenario):
+        [entry] = [e for e in summary["comparisons"]
+                   if e["scenario"] == scenario]
+        return entry
+
+    def test_throughput_drop_regresses_latency_drop_does_not(self):
+        summary = self.make(base_shim_ops=50, fresh_shim_ops=40,
+                            base_shim_p99=2000, fresh_shim_p99=1500)
+        ops = self.entry(summary, "larson_ops")
+        p99 = self.entry(summary, "larson_p99")
+        self.assertEqual(ops["status"], "regressed")
+        self.assertFalse(ops["lower_is_better"])
+        self.assertEqual(p99["status"], "ok")  # Lower latency is better.
+        self.assertTrue(p99["lower_is_better"])
+        self.assertEqual(summary["regressions"], 1)
+
+    def test_latency_rise_regresses_throughput_rise_does_not(self):
+        summary = self.make(base_shim_ops=50, fresh_shim_ops=60,
+                            base_shim_p99=2000, fresh_shim_p99=2500)
+        self.assertEqual(self.entry(summary, "larson_ops")["status"], "ok")
+        self.assertEqual(
+            self.entry(summary, "larson_p99")["status"], "regressed")
+        self.assertEqual(summary["regressions"], 1)
+
+    def test_below_threshold_is_ok_in_both_directions(self):
+        summary = self.make(base_shim_ops=50, fresh_shim_ops=48,
+                            base_shim_p99=2000, fresh_shim_p99=2100)
+        self.assertEqual(summary["regressions"], 0)
+
+    def test_document_level_flag_still_applies_to_unflagged_rows(self):
+        base = doc([("rss", "a", 100), ("rss", "b", 100)],
+                   lower_is_better=True)
+        fresh = doc([("rss", "a", 100), ("rss", "b", 150)],
+                    lower_is_better=True)
+        summary = bench_compare.compare(base, fresh, warn_pct=10.0)
+        [entry] = summary["comparisons"]
+        self.assertEqual(entry["status"], "regressed")
+        self.assertTrue(entry["lower_is_better"])
+
+    def test_baseline_row_flag_covers_older_fresh_trailers(self):
+        # A baseline written with row flags compared against a fresh
+        # trailer that lacks them: the baseline's direction applies.
+        lower = {"lower_is_better": True}
+        base = doc([("p99", "a", 100), ("p99", "b", 100, 1, lower)])
+        fresh = doc([("p99", "a", 100), ("p99", "b", 150)])
+        summary = bench_compare.compare(base, fresh, warn_pct=10.0)
+        [entry] = summary["comparisons"]
+        self.assertEqual(entry["status"], "regressed")
+
+    def test_added_and_removed_rows_are_informational(self):
+        base = doc([("s", "a", 100), ("s", "b", 50)])
+        fresh = doc([("s", "a", 100), ("s", "c", 70)])
+        summary = bench_compare.compare(base, fresh, warn_pct=10.0)
+        statuses = {e["config"]: e["status"] for e in summary["comparisons"]}
+        self.assertEqual(statuses, {"b": "removed", "c": "added"})
+        self.assertEqual(summary["regressions"], 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
